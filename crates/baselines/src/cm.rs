@@ -1,0 +1,178 @@
+//! Count-Min sketch (Cormode & Muthukrishnan, 2005) and its
+//! conservative-update variant **CU** (Estan & Varghese, 2003).
+//!
+//! Configuration per Appendix C: 3 hash functions, 32-bit counters.
+
+use crate::AccumulationSketch;
+use chm_common::hash::HashFamily;
+use chm_common::FlowId;
+
+/// Number of counter arrays (Appendix C: "3 hash functions").
+const ARRAYS: usize = 3;
+/// Bytes per counter (32-bit).
+const COUNTER_BYTES: usize = 4;
+
+/// Shared storage of CM/CU.
+#[derive(Debug, Clone)]
+struct MinSketch {
+    width: usize,
+    counters: Vec<u32>, // ARRAYS × width
+    hashes: HashFamily,
+}
+
+impl MinSketch {
+    fn new(memory_bytes: usize, seed: u64) -> Self {
+        let width = (memory_bytes / (ARRAYS * COUNTER_BYTES)).max(1);
+        MinSketch {
+            width,
+            counters: vec![0; ARRAYS * width],
+            hashes: HashFamily::new(seed, ARRAYS),
+        }
+    }
+
+    #[inline]
+    fn slots(&self, key: u64) -> [usize; ARRAYS] {
+        let mut out = [0; ARRAYS];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = i * self.width + self.hashes.index(i, key, self.width);
+        }
+        out
+    }
+
+    fn query(&self, key: u64) -> u64 {
+        self.slots(key)
+            .iter()
+            .map(|&s| self.counters[s] as u64)
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn memory_bytes(&self) -> f64 {
+        (ARRAYS * self.width * COUNTER_BYTES) as f64
+    }
+}
+
+/// The Count-Min sketch: increment every mapped counter; query the minimum.
+#[derive(Debug, Clone)]
+pub struct CmSketch {
+    inner: MinSketch,
+}
+
+impl CmSketch {
+    /// Creates a CM sketch with roughly `memory_bytes` of counters.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        CmSketch { inner: MinSketch::new(memory_bytes, seed) }
+    }
+}
+
+impl<F: FlowId> AccumulationSketch<F> for CmSketch {
+    fn insert(&mut self, f: &F) {
+        for s in self.inner.slots(f.key64()) {
+            self.inner.counters[s] = self.inner.counters[s].saturating_add(1);
+        }
+    }
+
+    fn estimate(&self, f: &F) -> u64 {
+        self.inner.query(f.key64())
+    }
+
+    fn memory_bytes(&self) -> f64 {
+        self.inner.memory_bytes()
+    }
+}
+
+/// The CU sketch: like CM, but only the minimum-valued mapped counters are
+/// incremented (conservative update), halving typical overestimation.
+#[derive(Debug, Clone)]
+pub struct CuSketch {
+    inner: MinSketch,
+}
+
+impl CuSketch {
+    /// Creates a CU sketch with roughly `memory_bytes` of counters.
+    pub fn new(memory_bytes: usize, seed: u64) -> Self {
+        CuSketch { inner: MinSketch::new(memory_bytes, seed) }
+    }
+}
+
+impl<F: FlowId> AccumulationSketch<F> for CuSketch {
+    fn insert(&mut self, f: &F) {
+        let slots = self.inner.slots(f.key64());
+        let min = slots.iter().map(|&s| self.inner.counters[s]).min().unwrap();
+        for s in slots {
+            if self.inner.counters[s] == min {
+                self.inner.counters[s] = self.inner.counters[s].saturating_add(1);
+            }
+        }
+    }
+
+    fn estimate(&self, f: &F) -> u64 {
+        self.inner.query(f.key64())
+    }
+
+    fn memory_bytes(&self) -> f64 {
+        self.inner.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cm_never_underestimates() {
+        let mut cm = CmSketch::new(4096, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            let f: u32 = rng.gen_range(0..300);
+            AccumulationSketch::<u32>::insert(&mut cm, &f);
+            *truth.entry(f).or_insert(0u64) += 1;
+        }
+        for (f, v) in truth {
+            assert!(AccumulationSketch::<u32>::estimate(&cm, &f) >= v);
+        }
+    }
+
+    #[test]
+    fn cu_never_underestimates_and_beats_cm() {
+        let mut cm = CmSketch::new(2048, 2);
+        let mut cu = CuSketch::new(2048, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let f: u32 = rng.gen_range(0..2000);
+            AccumulationSketch::<u32>::insert(&mut cm, &f);
+            AccumulationSketch::<u32>::insert(&mut cu, &f);
+            *truth.entry(f).or_insert(0u64) += 1;
+        }
+        let mut err_cm = 0.0;
+        let mut err_cu = 0.0;
+        for (f, v) in truth {
+            let ecm = AccumulationSketch::<u32>::estimate(&cm, &f);
+            let ecu = AccumulationSketch::<u32>::estimate(&cu, &f);
+            assert!(ecu >= v, "CU underestimated");
+            err_cm += (ecm - v) as f64;
+            err_cu += (ecu - v) as f64;
+        }
+        assert!(err_cu < err_cm, "CU {err_cu} not better than CM {err_cm}");
+    }
+
+    #[test]
+    fn exact_when_no_collisions() {
+        let mut cm = CmSketch::new(1 << 16, 3);
+        for _ in 0..9 {
+            AccumulationSketch::<u32>::insert(&mut cm, &42);
+        }
+        assert_eq!(AccumulationSketch::<u32>::estimate(&cm, &42), 9);
+        assert_eq!(AccumulationSketch::<u32>::estimate(&cm, &43), 0);
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let cm = CmSketch::new(12_000, 0);
+        assert!((AccumulationSketch::<u32>::memory_bytes(&cm) - 12_000.0).abs() <= 12.0);
+    }
+}

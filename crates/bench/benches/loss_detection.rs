@@ -1,0 +1,64 @@
+//! Criterion benches behind Figures 4–6: decode cost of the three loss
+//! detectors at their operating points, plus the controller's full
+//! analyze+reconfigure step (the engine of Figures 7–9 and 20).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::ChameleMon;
+use chm_bench::lossdet::{
+    FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario,
+};
+use chm_workloads::{caida_like_trace, testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+
+fn bench_loss_decode(c: &mut Criterion) {
+    let trace = caida_like_trace(20_000, 0xdec0).top_n(10_000);
+    let sc = LossScenario::from_trace(&trace, VictimSelection::LargestN(1_000), 0.01, 3);
+    let mut g = c.benchmark_group("loss_decode_1k_victims");
+    g.throughput(Throughput::Elements(sc.victims() as u64));
+    for bench in [
+        &FermatLossBench as &dyn LossBench,
+        &LossRadarLossBench,
+        &FlowRadarLossBench,
+    ] {
+        // Give each detector ample memory; we time the decode path.
+        g.bench_with_input(BenchmarkId::from_parameter(bench.name()), &sc, |b, sc| {
+            b.iter(|| {
+                let (ok, _, _) = bench.trial(sc, 8 << 20, 7);
+                assert!(ok);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_controller_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("controller_full_epoch");
+    g.sample_size(10);
+    for flows in [5_000usize, 20_000] {
+        let trace = testbed_trace(WorkloadKind::Dctcp, flows, 8, 1);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.1), 0.01, 2);
+        g.throughput(Throughput::Elements(trace.total_packets()));
+        g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| {
+                let mut sys = ChameleMon::testbed(DataPlaneConfig::paper_default(3));
+                sys.run_epoch(&trace, &plan)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fast() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = fast();
+    targets = bench_loss_decode, bench_controller_epoch
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates the design-choice ablations (arrays d, fingerprint width,
+//! load-factor target). See DESIGN.md.
+fn main() {
+    let trials = chm_bench::experiments::trials();
+    for t in chm_bench::experiments::ablations::ablation_arrays(trials) {
+        t.finish();
+    }
+    for t in chm_bench::experiments::ablations::ablation_fingerprint(trials) {
+        t.finish();
+    }
+    for t in chm_bench::experiments::ablations::ablation_load_target(trials) {
+        t.finish();
+    }
+}

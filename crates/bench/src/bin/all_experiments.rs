@@ -1,0 +1,46 @@
+//! Runs every table/figure experiment in sequence, writing JSON records
+//! under `results/` as each completes. Set CHM_SCALE / CHM_TRIALS to trade
+//! fidelity for time.
+
+use chm_bench::experiments as ex;
+use chm_bench::report::Table;
+
+fn main() {
+    let trials = ex::trials();
+    let scale = ex::scale();
+    eprintln!("running all experiments (trials={trials}, scale={scale})");
+    // Lazy thunks: each experiment runs (and prints + persists) before the
+    // next starts, so progress is visible incrementally.
+    let groups: Vec<(&str, Box<dyn Fn() -> Vec<Table>>)> = vec![
+        ("table1", Box::new(ex::table1::table1)),
+        ("fig21", Box::new(ex::fig21::fig21)),
+        ("fig22", Box::new(ex::fig22::fig22)),
+        ("fig10", Box::new(move || ex::fig10::fig10(trials.max(50)))),
+        ("fig04", Box::new(move || ex::fig04_06::fig04(trials))),
+        ("fig05", Box::new(move || ex::fig04_06::fig05(trials))),
+        ("fig06", Box::new(move || ex::fig04_06::fig06(trials))),
+        (
+            "ablations",
+            Box::new(move || {
+                let mut ts = ex::ablations::ablation_arrays(trials);
+                ts.extend(ex::ablations::ablation_fingerprint(trials));
+                ts.extend(ex::ablations::ablation_load_target(trials));
+                ts
+            }),
+        ),
+        ("fig07", Box::new(ex::fig07_08::fig07)),
+        ("fig08", Box::new(ex::fig07_08::fig08)),
+        ("fig09", Box::new(ex::fig09::fig09)),
+        ("fig11", Box::new(move || ex::fig11::fig11(scale))),
+        ("fig14-15", Box::new(ex::fig07_08::fig14_15)),
+        ("fig16-17", Box::new(ex::fig07_08::fig16_17)),
+        ("fig18-19", Box::new(ex::fig07_08::fig18_19)),
+        ("fig20", Box::new(move || ex::fig20::fig20(scale))),
+    ];
+    for (name, run) in groups {
+        eprintln!("== {name} ==");
+        for t in run() {
+            t.finish();
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 (memory/time vs # victim flows). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig04_06::fig04(chm_bench::experiments::trials()) {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (memory/time vs packet loss rate). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig04_06::fig05(chm_bench::experiments::trials()) {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (memory/time vs # flows). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig04_06::fig06(chm_bench::experiments::trials()) {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (attention vs # flows, DCTCP). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig07_08::fig07() {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (attention vs victim ratio, DCTCP). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig07_08::fig08() {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (attention vs epoch, 45-epoch window). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig09::fig09() {
+        t.finish();
+    }
+}

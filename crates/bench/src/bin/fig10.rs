@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 (fingerprint effect on decode success). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig10::fig10(chm_bench::experiments::trials().max(50)) {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 (six accumulation tasks vs baselines). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig11::fig11(chm_bench::experiments::scale()) {
+        t.finish();
+    }
+}

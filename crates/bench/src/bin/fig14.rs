@@ -1,0 +1,6 @@
+//! Regenerates Figures 14-15 (attention on CACHE). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig07_08::fig14_15() {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 16-17 (attention on VL2). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig07_08::fig16_17() {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figures 18-19 (attention on HADOOP). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig07_08::fig18_19() {
+        t.finish();
+    }
+}

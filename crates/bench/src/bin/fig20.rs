@@ -1,0 +1,6 @@
+//! Regenerates Figure 20 (controller response time). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig20::fig20(chm_bench::experiments::scale()) {
+        t.finish();
+    }
+}

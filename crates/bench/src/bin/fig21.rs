@@ -1,0 +1,6 @@
+//! Regenerates Figure 21 (collection bandwidth vs epoch length). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig21::fig21() {
+        t.finish();
+    }
+}

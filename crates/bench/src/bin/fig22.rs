@@ -1,0 +1,6 @@
+//! Regenerates Figure 22 (reconfiguration time CDF). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::fig22::fig22() {
+        t.finish();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 1 (Tofino resource usage). See DESIGN.md.
+fn main() {
+    for t in chm_bench::experiments::table1::table1() {
+        t.finish();
+    }
+}

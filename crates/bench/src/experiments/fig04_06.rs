@@ -1,0 +1,138 @@
+//! Figures 4, 5, 6 (§5.1): minimum memory and decode time of FermatSketch
+//! vs LossRadar vs FlowRadar for packet loss detection, swept over
+//! #victim flows (Fig 4), packet loss rate (Fig 5) and #flows (Fig 6).
+//!
+//! Setup per §5.1: CAIDA-like trace (first 100K flows ≈ 5.3M packets),
+//! 32-bit source-IP flow IDs, a single monitored link.
+
+use crate::lossdet::{
+    min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench,
+    LossScenario,
+};
+use crate::report::Table;
+use chm_workloads::{caida_like_trace, Trace, VictimSelection};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+fn benches() -> [Box<dyn LossBench>; 3] {
+    [
+        Box::new(FermatLossBench),
+        Box::new(LossRadarLossBench),
+        Box::new(FlowRadarLossBench),
+    ]
+}
+
+fn sweep(
+    id_mem: &str,
+    id_time: &str,
+    title: &str,
+    x_label: &str,
+    scenarios: &[(f64, LossScenario)],
+    trials: u64,
+) -> Vec<Table> {
+    let mut mem_table = Table::new(
+        id_mem,
+        &format!("{title} — minimum memory (MB)"),
+        &[x_label, "Fermat", "LossRadar", "FlowRadar"],
+    );
+    let mut time_table = Table::new(
+        id_time,
+        &format!("{title} — decoding time (ms)"),
+        &[x_label, "Fermat", "LossRadar", "FlowRadar"],
+    );
+    for (x, sc) in scenarios {
+        let mut mem_row = vec![*x];
+        let mut time_row = vec![*x];
+        for b in benches() {
+            let r = min_memory_for_success(b.as_ref(), sc, trials, 256);
+            mem_row.push(r.memory_bytes / MB);
+            time_row.push(r.decode_time_s * 1000.0);
+        }
+        mem_table.push(mem_row);
+        time_table.push(time_row);
+    }
+    vec![mem_table, time_table]
+}
+
+/// The §5.1 base trace: top 10K flows of a 100K-flow CAIDA-like trace.
+fn base_trace() -> Trace<u32> {
+    caida_like_trace(100_000, 0xca1d).top_n(10_000)
+}
+
+/// Figure 4: memory/time vs number of victim flows (2K–10K), loss rate 1%.
+pub fn fig04(trials: u64) -> Vec<Table> {
+    let trace = base_trace();
+    let scenarios: Vec<(f64, LossScenario)> = (1..=5)
+        .map(|k| {
+            let victims = k * 2_000;
+            let sc = LossScenario::from_trace(
+                &trace,
+                VictimSelection::RandomN(victims),
+                0.01,
+                40 + k as u64,
+            );
+            (victims as f64 / 1000.0, sc)
+        })
+        .collect();
+    sweep(
+        "fig04a",
+        "fig04b",
+        "Figure 4: vs # victim flows (K)",
+        "victims_K",
+        &scenarios,
+        trials,
+    )
+}
+
+/// Figure 5: memory/time vs packet loss rate (10%–50%), 100 victim flows.
+pub fn fig05(trials: u64) -> Vec<Table> {
+    let trace = base_trace();
+    let scenarios: Vec<(f64, LossScenario)> = (1..=5)
+        .map(|k| {
+            let rate = 0.10 * k as f64;
+            let sc = LossScenario::from_trace(
+                &trace,
+                VictimSelection::LargestN(100),
+                rate,
+                50 + k as u64,
+            );
+            (rate * 100.0, sc)
+        })
+        .collect();
+    sweep(
+        "fig05a",
+        "fig05b",
+        "Figure 5: vs loss rate (%)",
+        "loss_pct",
+        &scenarios,
+        trials,
+    )
+}
+
+/// Figure 6: memory/time vs number of flows (1K–100K, log), 100 victims,
+/// loss rate 1%.
+pub fn fig06(trials: u64) -> Vec<Table> {
+    let full = caida_like_trace(100_000, 0xca1d);
+    let scenarios: Vec<(f64, LossScenario)> = [1_000usize, 3_162, 10_000, 31_623, 100_000]
+        .into_iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let trace = full.top_n(n);
+            let sc = LossScenario::from_trace(
+                &trace,
+                VictimSelection::LargestN(100),
+                0.01,
+                60 + i as u64,
+            );
+            (n as f64, sc)
+        })
+        .collect();
+    sweep(
+        "fig06a",
+        "fig06b",
+        "Figure 6: vs # flows",
+        "flows",
+        &scenarios,
+        trials,
+    )
+}

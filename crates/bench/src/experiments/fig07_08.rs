@@ -1,0 +1,82 @@
+//! Figures 7/8 (§5.2) and their other-workload twins, Figures 14–19
+//! (Appendix E): measurement attention (memory division, decoded flows,
+//! thresholds, sample rate) as the number of flows or the victim-flow ratio
+//! changes, on the simulated testbed with the paper-default data plane.
+
+use crate::attention::{sweep_num_flows, sweep_victim_ratio, to_table};
+use crate::report::Table;
+use chm_workloads::WorkloadKind;
+
+/// Figure 7: attention vs #flows (10K–100K, 10% victims), DCTCP.
+pub fn fig07() -> Vec<Table> {
+    vec![to_table(
+        "fig07",
+        "Figure 7: attention vs # flows (DCTCP)",
+        "flows",
+        &sweep_num_flows(WorkloadKind::Dctcp, 700),
+    )]
+}
+
+/// Figure 8: attention vs victim ratio (2.5%–25%, 50K flows), DCTCP.
+pub fn fig08() -> Vec<Table> {
+    vec![to_table(
+        "fig08",
+        "Figure 8: attention vs victim ratio (DCTCP)",
+        "victim_pct",
+        &sweep_victim_ratio(WorkloadKind::Dctcp, 800),
+    )]
+}
+
+/// Figures 14/15: CACHE workload (Appendix E.1).
+pub fn fig14_15() -> Vec<Table> {
+    vec![
+        to_table(
+            "fig14",
+            "Figure 14: attention vs # flows (CACHE)",
+            "flows",
+            &sweep_num_flows(WorkloadKind::Cache, 1400),
+        ),
+        to_table(
+            "fig15",
+            "Figure 15: attention vs victim ratio (CACHE)",
+            "victim_pct",
+            &sweep_victim_ratio(WorkloadKind::Cache, 1500),
+        ),
+    ]
+}
+
+/// Figures 16/17: VL2 workload (Appendix E.2).
+pub fn fig16_17() -> Vec<Table> {
+    vec![
+        to_table(
+            "fig16",
+            "Figure 16: attention vs # flows (VL2)",
+            "flows",
+            &sweep_num_flows(WorkloadKind::Vl2, 1600),
+        ),
+        to_table(
+            "fig17",
+            "Figure 17: attention vs victim ratio (VL2)",
+            "victim_pct",
+            &sweep_victim_ratio(WorkloadKind::Vl2, 1700),
+        ),
+    ]
+}
+
+/// Figures 18/19: HADOOP workload (Appendix E.3).
+pub fn fig18_19() -> Vec<Table> {
+    vec![
+        to_table(
+            "fig18",
+            "Figure 18: attention vs # flows (HADOOP)",
+            "flows",
+            &sweep_num_flows(WorkloadKind::Hadoop, 1800),
+        ),
+        to_table(
+            "fig19",
+            "Figure 19: attention vs victim ratio (HADOOP)",
+            "victim_pct",
+            &sweep_victim_ratio(WorkloadKind::Hadoop, 1900),
+        ),
+    ]
+}

@@ -1,0 +1,88 @@
+//! Figure 9 (§5.2): attention over a 45-epoch window in which the network
+//! state changes 8 times (first degrading, then recovering). The paper's
+//! claim: ChameleMon shifts measurement attention within ≤ 3 epochs of
+//! every change.
+
+use crate::report::Table;
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::control::NetworkState;
+use chamelemon::ChameleMon;
+use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+
+/// The 9 phases of 5 epochs each (flows, victim ratio): degrade then
+/// recover, mirroring the top sub-figure of Figure 9.
+pub const PHASES: [(usize, f64); 9] = [
+    (20_000, 0.025),
+    (40_000, 0.05),
+    (60_000, 0.10),
+    (80_000, 0.15),
+    (100_000, 0.20),
+    (80_000, 0.15),
+    (60_000, 0.10),
+    (40_000, 0.05),
+    (20_000, 0.025),
+];
+
+/// Runs the 45-epoch window and returns (per-epoch table, convergence
+/// table: epochs needed after each of the 8 changes).
+pub fn fig09() -> Vec<Table> {
+    let mut sys = ChameleMon::testbed(DataPlaneConfig::paper_default(0x0909));
+    let mut per_epoch = Table::new(
+        "fig09",
+        "Figure 9: attention vs epoch (DCTCP, 45 epochs, 8 state changes)",
+        &[
+            "epoch", "flows_K", "victims_K", "memHH", "memHL", "memLL", "decoded_K",
+            "Th", "Tl", "sample", "ill",
+        ],
+    );
+    // A configuration is "shifted" once it stops changing; record, per
+    // phase change, how many epochs until the staged config stabilizes.
+    let mut convergence = Table::new(
+        "fig09_convergence",
+        "Figure 9: epochs to shift attention after each change (paper: ≤ 3)",
+        &["change", "epochs"],
+    );
+    let mut epoch = 0usize;
+    let mut prev_staged = None;
+    for (phase, &(flows, ratio)) in PHASES.iter().enumerate() {
+        let trace = testbed_trace(WorkloadKind::Dctcp, flows, 8, 0x0909 + phase as u64);
+        let plan = LossPlan::build(
+            &trace,
+            VictimSelection::RandomRatio(ratio),
+            0.01,
+            0x0909 + 100 + phase as u64,
+        );
+        let mut settled_at: Option<usize> = None;
+        for e in 0..5 {
+            let out = sys.run_epoch(&trace, &plan);
+            let rt = &out.config_in_effect;
+            let total = rt.partition.total() as f64;
+            per_epoch.push(vec![
+                epoch as f64,
+                flows as f64 / 1000.0,
+                flows as f64 * ratio / 1000.0,
+                rt.partition.m_hh as f64 / total,
+                rt.partition.m_hl as f64 / total,
+                rt.partition.m_ll as f64 / total,
+                out.analysis.total_decoded() as f64 / 1000.0,
+                rt.th as f64,
+                rt.tl as f64,
+                rt.sample_rate(),
+                if out.analysis.state_during == NetworkState::Ill { 1.0 } else { 0.0 },
+            ]);
+            // Converged when the staged config matches the previous epoch's.
+            if settled_at.is_none() && prev_staged.as_ref() == Some(&out.staged_runtime) {
+                settled_at = Some(e);
+            }
+            prev_staged = Some(out.staged_runtime.clone());
+            epoch += 1;
+        }
+        if phase > 0 {
+            convergence.push(vec![
+                phase as f64,
+                settled_at.map(|e| e as f64).unwrap_or(5.0),
+            ]);
+        }
+    }
+    vec![per_epoch, convergence]
+}

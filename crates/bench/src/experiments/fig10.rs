@@ -1,0 +1,85 @@
+//! Figure 10 (Appendix A.4): decoding success rate with and without 8-bit
+//! fingerprints, (a) at the same number of buckets per flow and (b) at the
+//! same memory per flow, for 1K and 10K flows.
+
+use crate::report::Table;
+use chm_fermat::{FermatConfig, FermatSketch};
+use chm_workloads::caida_like_trace;
+
+/// Success rate of `trials` decodes at a given (flows, buckets/array, fp).
+fn success_rate(flows: &[u32], buckets_per_array: usize, fp_bits: u32, trials: u64) -> f64 {
+    let mut ok = 0u64;
+    for t in 0..trials {
+        let cfg = FermatConfig {
+            arrays: 3,
+            buckets_per_array,
+            fingerprint_bits: fp_bits,
+            seed: 0xf1f0 + t * 31,
+        };
+        let mut s = FermatSketch::<u32>::new(cfg);
+        for f in flows {
+            s.insert(f);
+        }
+        if s.decode_in_place().success {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// Runs both panels.
+pub fn fig10(trials: u64) -> Vec<Table> {
+    let trace = caida_like_trace(10_000, 0xf1f0);
+    let flows_10k: Vec<u32> = trace.flows.iter().map(|&(f, _)| f).collect();
+    let flows_1k: Vec<u32> = flows_10k[..1_000].to_vec();
+
+    // Panel (a): same number of buckets per flow (1.17 – 1.29).
+    let mut a = Table::new(
+        "fig10a",
+        "Figure 10(a): decode success vs buckets/flow",
+        &["buckets_per_flow", "10K_no_fp", "10K_fp8", "1K_no_fp", "1K_fp8"],
+    );
+    for k in 0..5 {
+        let bpf = 1.17 + 0.03 * k as f64;
+        let row: Vec<f64> = [
+            (&flows_10k, 0u32),
+            (&flows_10k, 8),
+            (&flows_1k, 0),
+            (&flows_1k, 8),
+        ]
+        .iter()
+        .map(|(flows, fp)| {
+            let m = ((flows.len() as f64 * bpf) / 3.0).ceil() as usize;
+            success_rate(flows, m, *fp, trials)
+        })
+        .collect();
+        a.push([vec![bpf], row].concat());
+    }
+
+    // Panel (b): same memory per flow (9 – 12 bytes). Plain buckets are
+    // 8 B; fingerprinted buckets are 9 B, so at equal memory the fp variant
+    // has fewer buckets.
+    let mut b = Table::new(
+        "fig10b",
+        "Figure 10(b): decode success vs memory/flow (bytes)",
+        &["bytes_per_flow", "10K_no_fp", "10K_fp8", "1K_no_fp", "1K_fp8"],
+    );
+    for k in 0..4 {
+        let bytes_pf = 9.0 + k as f64;
+        let row: Vec<f64> = [
+            (&flows_10k, 0u32, 8.0),
+            (&flows_10k, 8, 9.0),
+            (&flows_1k, 0, 8.0),
+            (&flows_1k, 8, 9.0),
+        ]
+        .iter()
+        .map(|(flows, fp, bucket_bytes)| {
+            let total_buckets = flows.len() as f64 * bytes_pf / bucket_bytes;
+            let m = (total_buckets / 3.0).ceil() as usize;
+            success_rate(flows, m, *fp, trials)
+        })
+        .collect();
+        b.push([vec![bytes_pf], row].concat());
+    }
+    vec![a, b]
+}

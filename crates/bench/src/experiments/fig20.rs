@@ -1,0 +1,48 @@
+//! Figure 20 (Appendix F): controller response time — the wall-clock time
+//! between finishing collection and emitting the reconfiguration — across
+//! network states, for all four workloads.
+//!
+//! Panel (a) varies the number of flows (victim ratio 10%); panel (b)
+//! varies the victim ratio (50K flows). The paper's machine answers within
+//! 30 ms on one core; the *shape* (dominated by the number of HH candidates
+//! that must be decoded and re-inserted) is what we reproduce.
+
+use crate::attention::stable_point;
+use crate::report::Table;
+use chm_workloads::WorkloadKind;
+
+/// Runs both panels; `scale` divides flow counts for quick runs.
+pub fn fig20(scale: usize) -> Vec<Table> {
+    let workload_names: Vec<&str> = WorkloadKind::ALL.iter().map(|w| w.name()).collect();
+
+    let mut a = Table::new(
+        "fig20a",
+        "Figure 20(a): response time (ms) vs # flows",
+        &[["flows"].as_slice(), &workload_names].concat(),
+    );
+    for k in [2usize, 4, 6, 8, 10] {
+        let flows = k * 10_000 / scale;
+        let mut row = vec![flows as f64];
+        for (i, w) in WorkloadKind::ALL.into_iter().enumerate() {
+            let p = stable_point(w, flows, 0.10, flows as f64, 2000 + (k * 7 + i) as u64);
+            row.push(p.response_ms);
+        }
+        a.push(row);
+    }
+
+    let mut b = Table::new(
+        "fig20b",
+        "Figure 20(b): response time (ms) vs victim ratio",
+        &[["victim_pct"].as_slice(), &workload_names].concat(),
+    );
+    for k in [1usize, 3, 5, 7, 9] {
+        let ratio = 0.025 * k as f64;
+        let mut row = vec![ratio * 100.0];
+        for (i, w) in WorkloadKind::ALL.into_iter().enumerate() {
+            let p = stable_point(w, 50_000 / scale, ratio, ratio, 2100 + (k * 7 + i) as u64);
+            row.push(p.response_ms);
+        }
+        b.push(row);
+    }
+    vec![a, b]
+}

@@ -1,0 +1,26 @@
+//! Figure 21 (Appendix F): collection bandwidth at the controller NIC as a
+//! function of epoch length, under the §5.2 default sketch sizes. The paper
+//! reports ~317 Mbps at 50 ms (0.8% of a 40 Gb NIC).
+
+use crate::report::Table;
+use chm_netsim::CollectionModel;
+
+/// Sweeps epoch lengths 50–1000 ms.
+pub fn fig21() -> Vec<Table> {
+    let model = CollectionModel::paper_default();
+    let mut t = Table::new(
+        "fig21",
+        "Figure 21: collection bandwidth (Mbps) vs epoch length (ms)",
+        &["epoch_ms", "bandwidth_mbps", "pct_of_40G", "collect_time_ms"],
+    );
+    for epoch_ms in [50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1000.0] {
+        let bw = model.bandwidth_mbps(epoch_ms);
+        t.push(vec![
+            epoch_ms,
+            bw,
+            bw / 40_000.0 * 100.0,
+            model.collection_time_ms(),
+        ]);
+    }
+    vec![t]
+}

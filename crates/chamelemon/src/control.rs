@@ -1,0 +1,623 @@
+//! The ChameleMon control plane (§4): collection analysis, the seven
+//! measurement tasks' inputs, and — the heart of the paper — the
+//! attention-shifting state machine of §4.3.
+//!
+//! Every epoch the controller:
+//! 1. decodes each switch's upstream HH encoder (HH flowsets);
+//! 2. re-inserts decoded HH flows into the upstream HL encoders, builds the
+//!    cumulative upstream/downstream HL and LL encoders across switches,
+//!    subtracts, and decodes the **delta** encoders — whose flowsets are the
+//!    victim flows (§4.2 "Packet loss detection");
+//! 3. estimates the real-time network state (#flows, flow-size
+//!    distribution, #victim flows) with linear counting + MRAC fallbacks;
+//! 4. reconfigures the data plane — memory division, `Th`, `Tl`, sample
+//!    rate — targeting ~70% load factor on every Fermat encoder, moving
+//!    between the **healthy** and **ill** network states (§4.3.1–4.3.2).
+
+use crate::config::{DataPlaneConfig, Partition, RuntimeConfig};
+use crate::dataplane::CollectedGroup;
+use chm_common::hash::PairwiseHash;
+use chm_common::FlowId;
+use chm_fermat::FermatSketch;
+use chm_tower::MracConfig;
+use std::collections::HashMap;
+
+/// Load-factor targets (§4.3: reconfigure toward 70%, act below 60%).
+pub const TARGET_LOAD: f64 = 0.70;
+/// Low-water mark under which encoders are compressed / thresholds relaxed.
+pub const LOW_LOAD: f64 = 0.60;
+
+/// The two network states (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkState {
+    /// All victim flows can be monitored with the available memory.
+    Healthy,
+    /// Victim flows exceed capacity: monitor HLs, sample LLs.
+    Ill,
+}
+
+/// The controller's decoded view of one epoch.
+#[derive(Debug, Clone)]
+pub struct EpochAnalysis<F> {
+    /// Per-switch decoded HH flowsets (flow → packets recorded in the HH
+    /// encoder, i.e. estimated size − Th).
+    pub hh_flowsets: Vec<HashMap<F, i64>>,
+    /// Whether **all** upstream HH encoders decoded.
+    pub hh_decode_ok: bool,
+    /// Decoded delta-HL flowset (victims among HH/HL candidates), `None` on
+    /// decode failure.
+    pub hl_flowset: Option<HashMap<F, i64>>,
+    /// Decoded delta-LL flowset (sampled light losses), `None` on failure
+    /// (also `None` when the LL encoders have zero memory).
+    pub ll_flowset: Option<HashMap<F, i64>>,
+    /// Packet loss detection output: victim flow → estimated lost packets
+    /// (sum of its HL- and LL-flowset sizes, §4.2).
+    pub loss_report: HashMap<F, u64>,
+    /// Estimated number of flows per switch (linear counting on the
+    /// classifier).
+    pub est_flows_per_switch: Vec<f64>,
+    /// Estimated flows network-wide (sum over ingress switches).
+    pub est_flows: f64,
+    /// Estimated number of HLs (decoded count, or linear counting on the
+    /// delta HL encoder when decoding fails).
+    pub est_hls: f64,
+    /// Estimated number of sampled LLs (decoded or linear-counted).
+    pub est_lls: f64,
+    /// Estimated number of victim flows network-wide.
+    pub est_victims: f64,
+    /// Network-wide flow-size distribution estimate (`dist[s]` ≈ #flows of
+    /// size `s`).
+    pub flow_size_dist: Vec<f64>,
+    /// Victim flow-size distribution (ill state; from sampled victims).
+    pub victim_size_dist: Option<Vec<f64>>,
+    /// The runtime configuration this epoch was monitored under.
+    pub runtime: RuntimeConfig,
+    /// The network state the controller believed during this epoch.
+    pub state_during: NetworkState,
+}
+
+impl<F: FlowId> EpochAnalysis<F> {
+    /// Number of HH candidates decoded at switch `i` (Figure 7(b) plots
+    /// switch 0).
+    pub fn hh_count(&self, i: usize) -> usize {
+        self.hh_flowsets.get(i).map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Decoded HLs in the network.
+    pub fn hl_count(&self) -> usize {
+        self.hl_flowset.as_ref().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Decoded sampled LLs in the network.
+    pub fn ll_count(&self) -> usize {
+        self.ll_flowset.as_ref().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Total decoded flows across HH (all switches) + HL + LL flowsets —
+    /// the "number of decoded flows" series of Figures 7(b)/8(b).
+    pub fn total_decoded(&self) -> usize {
+        self.hh_flowsets.iter().map(|m| m.len()).sum::<usize>()
+            + self.hl_count()
+            + self.ll_count()
+    }
+}
+
+/// The central controller.
+#[derive(Debug, Clone)]
+pub struct Controller<F: FlowId> {
+    cfg: DataPlaneConfig,
+    deployed: RuntimeConfig,
+    state: NetworkState,
+    sample_hash: PairwiseHash,
+    mrac: MracConfig,
+    _f: std::marker::PhantomData<F>,
+}
+
+impl<F: FlowId> Controller<F> {
+    /// Creates a controller for switches running `cfg`, starting in the
+    /// healthy state with the initial runtime.
+    pub fn new(cfg: DataPlaneConfig) -> Self {
+        let deployed = RuntimeConfig::initial(&cfg);
+        let sample_hash = PairwiseHash::from_seed(cfg.seed ^ 0x5a3b_1e00);
+        Controller {
+            cfg,
+            deployed,
+            state: NetworkState::Healthy,
+            sample_hash,
+            mrac: MracConfig::realtime(),
+            _f: std::marker::PhantomData,
+        }
+    }
+
+    /// The runtime configuration currently deployed on the switches.
+    pub fn deployed_runtime(&self) -> &RuntimeConfig {
+        &self.deployed
+    }
+
+    /// The controller's current belief about the network state.
+    pub fn state(&self) -> NetworkState {
+        self.state
+    }
+
+    /// Override the MRAC effort (tests / offline analysis).
+    pub fn set_mrac_config(&mut self, c: MracConfig) {
+        self.mrac = c;
+    }
+
+    /// §4.2 packet loss detection + §4.3 network-state monitoring over the
+    /// collected groups of all edge switches.
+    pub fn analyze_epoch(&self, collected: &[CollectedGroup<F>]) -> EpochAnalysis<F> {
+        assert!(!collected.is_empty(), "no switches collected");
+        let runtime = collected[0].runtime.clone();
+        let d = self.cfg.arrays as f64;
+
+        // --- flows & flow-size distribution per switch -------------------
+        let est_flows_per_switch: Vec<f64> = collected
+            .iter()
+            .map(|g| g.classifier.cardinality_estimate())
+            .collect();
+        let est_flows: f64 = est_flows_per_switch.iter().sum();
+
+        // --- decode upstream HH encoders ---------------------------------
+        let mut hh_flowsets = Vec::with_capacity(collected.len());
+        let mut hh_decode_ok = true;
+        for g in collected {
+            if g.runtime.partition.m_hh == 0 {
+                hh_flowsets.push(HashMap::new());
+                continue;
+            }
+            let r = g.up_hh.decode();
+            if !r.success {
+                hh_decode_ok = false;
+            }
+            hh_flowsets.push(r.flows);
+        }
+
+        // Aggregate flow-size distribution (classifier MRAC + HH tail).
+        let mut flow_size_dist: Vec<f64> = Vec::new();
+        for (g, hh) in collected.iter().zip(&hh_flowsets) {
+            let tail: Vec<u64> = hh
+                .iter()
+                .map(|(_, &q)| runtime.th + q.max(0) as u64)
+                .collect();
+            let dist = g.classifier.flow_size_distribution(&tail, &self.mrac);
+            if dist.len() > flow_size_dist.len() {
+                flow_size_dist.resize(dist.len(), 0.0);
+            }
+            for (s, v) in dist.iter().enumerate() {
+                flow_size_dist[s] += v;
+            }
+        }
+
+        // --- delta HL encoder ---------------------------------------------
+        // If any HH decode failed we cannot re-insert; monitoring stops for
+        // the HL path (§4.3.1), but we still estimate counts.
+        let p = runtime.partition;
+        let mut delta_hl: Option<FermatSketch<F>> = None;
+        if p.m_hl > 0 {
+            let mut cum_up = collected[0].up_hl.clone();
+            if hh_decode_ok {
+                for (f, c) in &hh_flowsets[0] {
+                    cum_up.insert_weighted(f, *c);
+                }
+            }
+            for (g, hh) in collected.iter().zip(&hh_flowsets).skip(1) {
+                let mut up = g.up_hl.clone();
+                if hh_decode_ok {
+                    for (f, c) in hh {
+                        up.insert_weighted(f, *c);
+                    }
+                }
+                cum_up.add_assign_sketch(&up);
+            }
+            let mut cum_down = collected[0].down_hl.clone();
+            for g in collected.iter().skip(1) {
+                cum_down.add_assign_sketch(&g.down_hl);
+            }
+            cum_up.sub_assign_sketch(&cum_down);
+            delta_hl = Some(cum_up);
+        }
+        let (hl_flowset, est_hls) = match &delta_hl {
+            Some(delta) if hh_decode_ok => {
+                let r = delta.decode();
+                if r.success {
+                    let n = r.flows.len() as f64;
+                    (Some(r.flows), n)
+                } else {
+                    (None, delta.linear_count(0))
+                }
+            }
+            Some(delta) => (None, delta.linear_count(0)),
+            None => (None, 0.0),
+        };
+
+        // --- delta LL encoder ---------------------------------------------
+        let mut delta_ll: Option<FermatSketch<F>> = None;
+        if p.m_ll > 0 {
+            let mut cum_up = collected[0].up_ll.clone();
+            for g in collected.iter().skip(1) {
+                cum_up.add_assign_sketch(&g.up_ll);
+            }
+            let mut cum_down = collected[0].down_ll.clone();
+            for g in collected.iter().skip(1) {
+                cum_down.add_assign_sketch(&g.down_ll);
+            }
+            cum_up.sub_assign_sketch(&cum_down);
+            delta_ll = Some(cum_up);
+        }
+        let (ll_flowset, est_lls) = match &delta_ll {
+            Some(delta) => {
+                let r = delta.decode();
+                if r.success {
+                    let n = r.flows.len() as f64;
+                    (Some(r.flows), n)
+                } else {
+                    (None, delta.linear_count(0))
+                }
+            }
+            None => (None, 0.0),
+        };
+
+        // --- loss report (§4.2) -------------------------------------------
+        let mut loss_report: HashMap<F, u64> = HashMap::new();
+        if let Some(hl) = &hl_flowset {
+            for (f, c) in hl {
+                if *c > 0 {
+                    *loss_report.entry(*f).or_insert(0) += *c as u64;
+                }
+            }
+        }
+        if let Some(ll) = &ll_flowset {
+            for (f, c) in ll {
+                if *c > 0 {
+                    *loss_report.entry(*f).or_insert(0) += *c as u64;
+                }
+            }
+        }
+
+        // --- victim estimates (§4.3.2 "Monitoring real-time network state")
+        let rate = runtime.sample_rate();
+        let (est_victims, victim_size_dist) = match self.state {
+            NetworkState::Healthy => (est_hls, None),
+            NetworkState::Ill => {
+                match (&hl_flowset, &ll_flowset) {
+                    (Some(hl), Some(ll)) => {
+                        // Sample the HLs with the same method/rate as LLs,
+                        // merge with sampled LLs, scale by the rate.
+                        let sampled_hls: Vec<&F> = hl
+                            .keys()
+                            .filter(|f| {
+                                (self.sample_hash.sample16(f.key64()) as u32)
+                                    < runtime.sample_threshold
+                            })
+                            .collect();
+                        let mut sampled: Vec<&F> = sampled_hls;
+                        for f in ll.keys() {
+                            if !hl.contains_key(f) {
+                                sampled.push(f);
+                            }
+                        }
+                        let est = if rate > 0.0 {
+                            sampled.len() as f64 / rate
+                        } else {
+                            0.0
+                        };
+                        let dist = self.victim_distribution(collected, sampled.iter().copied());
+                        (est, Some(dist))
+                    }
+                    (None, Some(ll)) => {
+                        // HL decode failed: use the sampled-LL distribution.
+                        let est = if rate > 0.0 {
+                            est_hls + ll.len() as f64 / rate
+                        } else {
+                            est_hls
+                        };
+                        let dist = self.victim_distribution(collected, ll.keys());
+                        (est, Some(dist))
+                    }
+                    _ => {
+                        let est = if rate > 0.0 { est_hls + est_lls / rate } else { est_hls };
+                        (est, None)
+                    }
+                }
+            }
+        };
+
+        let _ = d;
+        EpochAnalysis {
+            hh_flowsets,
+            hh_decode_ok,
+            hl_flowset,
+            ll_flowset,
+            loss_report,
+            est_flows_per_switch,
+            est_flows,
+            est_hls,
+            est_lls,
+            est_victims,
+            flow_size_dist,
+            victim_size_dist,
+            runtime,
+            state_during: self.state,
+        }
+    }
+
+    /// Flow-size distribution of a set of (victim) flows, via classifier
+    /// queries (§4.3.2). A flow is only inserted at its ingress switch, so
+    /// we take the max over switches of the (min-)query.
+    fn victim_distribution<'a>(
+        &self,
+        collected: &[CollectedGroup<F>],
+        flows: impl Iterator<Item = &'a F>,
+    ) -> Vec<f64>
+    where
+        F: 'a,
+    {
+        let mut dist = vec![0.0; 16];
+        for f in flows {
+            let size = collected
+                .iter()
+                .map(|g| g.classifier.query_clamped(f.key64()))
+                .max()
+                .unwrap_or(0) as usize;
+            if size >= dist.len() {
+                dist.resize(size + 1, 0.0);
+            }
+            dist[size] += 1.0;
+        }
+        dist
+    }
+
+    /// §4.3 "Reconfiguring ChameleMon data plane". Consumes the analysis and
+    /// returns the runtime configuration for the next epoch, updating the
+    /// controller's network-state belief.
+    pub fn reconfigure(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
+        let rt = match self.state {
+            NetworkState::Healthy => self.reconfigure_healthy(a),
+            NetworkState::Ill => self.reconfigure_ill(a),
+        };
+        rt.validate(&self.cfg).expect("controller produced invalid runtime");
+        self.deployed = rt.clone();
+        rt
+    }
+
+    // ------------------------------------------------------------------
+    // Healthy network state (§4.3.1)
+    // ------------------------------------------------------------------
+    fn reconfigure_healthy(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
+        let mut rt = self.deployed.clone();
+        let d = self.cfg.arrays as f64;
+        let flows_sw = max_or_zero(&a.est_flows_per_switch);
+
+        // Step 1: ensure the upstream HH encoders decode.
+        if !a.hh_decode_ok {
+            let cap = TARGET_LOAD * rt.partition.m_hh as f64 * d;
+            let new_th = threshold_for_target(&a.flow_size_dist, flows_sw, cap);
+            rt.th = new_th.max(rt.th + 1); // "turns up Th"
+            rt.tl = rt.tl.min(rt.th);
+            // Decoding of the delta HL encoder could not proceed: stop.
+            return rt;
+        }
+
+        // Step 2: delta HL decoding / memory utilization.
+        match &a.hl_flowset {
+            None => {
+                let required_total = a.est_hls / TARGET_LOAD; // buckets (m·d)
+                let max_total = self.cfg.m_df as f64 * d;
+                if required_total > max_total {
+                    // Healthy → Ill transition.
+                    self.state = NetworkState::Ill;
+                    rt.partition = self.cfg.ill_partition;
+                    rt.tl = rt.th.max(2); // Tl = Th (must exceed 1 in ill state)
+                    rt.th = rt.th.max(rt.tl);
+                    let ll_cap = TARGET_LOAD * self.cfg.ill_partition.m_ll as f64 * d;
+                    // Assume each HL will be a LL (§4.3.1 step 2).
+                    rt.set_sample_rate(ll_cap / a.est_hls.max(1.0));
+                    return self.finish_with_th(rt, a);
+                }
+                // Expand the HL encoders to the required memory.
+                let new_m_hl = ((required_total / d).ceil() as usize)
+                    .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+                rt.partition = Partition {
+                    m_hh: self.cfg.m_uf - new_m_hl,
+                    m_hl: new_m_hl,
+                    m_ll: 0,
+                };
+            }
+            Some(hl) => {
+                let load = hl.len() as f64 / (rt.partition.m_hl as f64 * d);
+                if load < LOW_LOAD {
+                    // Compress toward 70%, but keep the reserved minimum.
+                    let new_m_hl = ((hl.len() as f64 / TARGET_LOAD / d).ceil() as usize)
+                        .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+                    rt.partition = Partition {
+                        m_hh: self.cfg.m_uf - new_m_hl,
+                        m_hl: new_m_hl,
+                        m_ll: 0,
+                    };
+                }
+            }
+        }
+
+        self.finish_with_th(rt, a)
+    }
+
+    // ------------------------------------------------------------------
+    // Ill network state (§4.3.2)
+    // ------------------------------------------------------------------
+    fn reconfigure_ill(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
+        let mut rt = self.deployed.clone();
+        let d = self.cfg.arrays as f64;
+        let flows_sw = max_or_zero(&a.est_flows_per_switch);
+
+        // Step 1a: HH encoders must decode.
+        if !a.hh_decode_ok {
+            let cap = TARGET_LOAD * rt.partition.m_hh as f64 * d;
+            let new_th = threshold_for_target(&a.flow_size_dist, flows_sw, cap);
+            rt.th = new_th.max(rt.th + 1);
+            rt.tl = rt.tl.min(rt.th);
+            return rt;
+        }
+        // Step 1b: delta LL encoder must decode.
+        if a.ll_flowset.is_none() && rt.partition.m_ll > 0 {
+            let cap = TARGET_LOAD * rt.partition.m_ll as f64 * d;
+            // est_lls is the linear-counting estimate of *sampled* LLs under
+            // the current rate; rescale the rate toward the capacity.
+            if a.est_lls > 0.0 {
+                let new_rate = rt.sample_rate() * cap / a.est_lls;
+                rt.set_sample_rate(new_rate.min(1.0));
+            }
+            return rt;
+        }
+
+        // Step 2: delta HL encoder must decode — turn up Tl.
+        if a.hl_flowset.is_none() {
+            let cap = TARGET_LOAD * rt.partition.m_hl as f64 * d;
+            let dist = a
+                .victim_size_dist
+                .as_deref()
+                .unwrap_or(&a.flow_size_dist);
+            let new_tl = threshold_for_target(dist, a.est_victims, cap);
+            rt.tl = new_tl.max(rt.tl + 1).min(rt.th);
+            return self.finish_with_th(rt, a);
+        }
+
+        // Step 3: both delta encoders decoded.
+        let hl_load = a.hl_count() as f64 / (rt.partition.m_hl as f64 * d);
+        let ll_load = if rt.partition.m_ll > 0 {
+            a.ll_count() as f64 / (rt.partition.m_ll as f64 * d)
+        } else {
+            TARGET_LOAD
+        };
+        let required_total = a.est_victims / TARGET_LOAD;
+        let max_total = self.cfg.m_df as f64 * d;
+        if required_total <= max_total {
+            // Ill → Healthy transition: eliminate LL encoders, give the
+            // required memory (≥ reserved minimum) to the HL encoders.
+            self.state = NetworkState::Healthy;
+            let new_m_hl = ((required_total / d).ceil() as usize)
+                .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+            rt.partition = Partition {
+                m_hh: self.cfg.m_uf - new_m_hl,
+                m_hl: new_m_hl,
+                m_ll: 0,
+            };
+            rt.tl = 1;
+            rt.sample_threshold = 65_536;
+            return self.finish_with_th(rt, a);
+        }
+        // Still ill: keep utilization high.
+        if hl_load < LOW_LOAD {
+            // Admit more HLs: tune Tl toward 70% HL load using the victim
+            // size distribution. Damped — Tl at most halves per epoch — so
+            // estimation noise in the sampled victim distribution cannot
+            // make Tl overshoot down, overload the HL encoder, and
+            // oscillate.
+            let cap = TARGET_LOAD * rt.partition.m_hl as f64 * d;
+            let dist = a
+                .victim_size_dist
+                .as_deref()
+                .unwrap_or(&a.flow_size_dist);
+            let new_tl = threshold_for_target(dist, a.est_victims, cap);
+            rt.tl = new_tl.max(rt.tl / 2).clamp(2, rt.th);
+        }
+        if ll_load < LOW_LOAD && rt.partition.m_ll > 0 {
+            let cap = TARGET_LOAD * rt.partition.m_ll as f64 * d;
+            // Unsampled LLs ≈ sampled/rate; pick the rate that fills the cap.
+            let rate = rt.sample_rate();
+            if rate > 0.0 && a.est_lls > 0.0 {
+                let unsampled = a.est_lls / rate;
+                rt.set_sample_rate((cap / unsampled).min(1.0));
+            }
+        }
+
+        self.finish_with_th(rt, a)
+    }
+
+    /// Final step of both states: keep the upstream HH encoders' expected
+    /// load in [60%, 70%] by tuning `Th` (§4.3.1 step 3 / §4.3.2 step 4).
+    fn finish_with_th(&self, mut rt: RuntimeConfig, a: &EpochAnalysis<F>) -> RuntimeConfig {
+        let d = self.cfg.arrays as f64;
+        if rt.partition.m_hh == 0 {
+            return rt;
+        }
+        let cap = rt.partition.m_hh as f64 * d;
+        let hh_sw = a
+            .hh_flowsets
+            .iter()
+            .map(|m| m.len())
+            .max()
+            .unwrap_or(0) as f64;
+        let expected_load = hh_sw / cap;
+        if !(LOW_LOAD..=TARGET_LOAD).contains(&expected_load) {
+            let flows_sw = max_or_zero(&a.est_flows_per_switch);
+            let new_th =
+                threshold_for_target(&a.flow_size_dist, flows_sw, TARGET_LOAD * cap);
+            rt.th = new_th.max(rt.tl).max(1);
+        }
+        rt
+    }
+}
+
+/// Largest element or 0 for empty slices.
+fn max_or_zero(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// The smallest threshold `t ≥ 1` such that the expected number of flows of
+/// size ≥ `t` — `n_flows · P(size ≥ t)` under `dist` — is at most
+/// `target_count`. `dist` is an absolute histogram; it is normalized
+/// internally.
+pub fn threshold_for_target(dist: &[f64], n_flows: f64, target_count: f64) -> u64 {
+    let total: f64 = dist.iter().sum();
+    if total <= 0.0 || n_flows <= 0.0 {
+        return 1;
+    }
+    // Survival function from the top.
+    let mut surv = 0.0;
+    let mut best = dist.len() as u64; // worst case: above the whole histogram
+    for t in (1..dist.len()).rev() {
+        surv += dist[t];
+        let expected = n_flows * surv / total;
+        if expected <= target_count {
+            best = t as u64;
+        } else {
+            break;
+        }
+    }
+    best.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_for_target_basics() {
+        // 100 flows: 90 of size 1, 9 of size 10, 1 of size 100.
+        let mut dist = vec![0.0; 101];
+        dist[1] = 90.0;
+        dist[10] = 9.0;
+        dist[100] = 1.0;
+        // Want at most 10 candidates => threshold 2 (sizes >= 2: 10 flows).
+        assert_eq!(threshold_for_target(&dist, 100.0, 10.0), 2);
+        // Want at most 1 candidate => threshold 11.
+        assert_eq!(threshold_for_target(&dist, 100.0, 1.0), 11);
+        // Want everything => threshold 1.
+        assert_eq!(threshold_for_target(&dist, 100.0, 1000.0), 1);
+        // Impossible target => beyond the histogram.
+        assert_eq!(threshold_for_target(&dist, 100.0, 0.5), 101);
+    }
+
+    #[test]
+    fn threshold_for_target_degenerate() {
+        assert_eq!(threshold_for_target(&[], 100.0, 10.0), 1);
+        assert_eq!(threshold_for_target(&[0.0, 5.0], 0.0, 10.0), 1);
+    }
+
+    #[test]
+    fn max_or_zero_works() {
+        assert_eq!(max_or_zero(&[]), 0.0);
+        assert_eq!(max_or_zero(&[1.0, 3.0, 2.0]), 3.0);
+    }
+}

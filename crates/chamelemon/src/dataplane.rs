@@ -1,0 +1,362 @@
+//! The per-edge-switch data plane (§3.2): flow classifier, upstream flow
+//! encoder (HH/HL/LL), downstream flow encoder (HL/LL), LL sampling, and the
+//! two-group epoch rotation of Appendix B.
+//!
+//! Every packet entering the network at this switch passes
+//! classifier → hierarchy decision → upstream encoder; the 2-bit hierarchy
+//! tag travels in the packet header (ToS bits, §3.2.3) so the egress switch
+//! can pick the right downstream encoder without a classifier of its own.
+
+use crate::config::{DataPlaneConfig, RuntimeConfig};
+use chm_common::hash::PairwiseHash;
+use chm_common::FlowId;
+use chm_fermat::FermatSketch;
+use chm_tower::TowerSketch;
+
+/// Flow hierarchy assigned by the classifier (§3.2.1): the 2-bit tag
+/// carried in the packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// Classifier size ≥ `Th`.
+    HhCandidate,
+    /// `Tl ≤ size < Th`.
+    HlCandidate,
+    /// `size < Tl`, selected by the sampler.
+    SampledLl,
+    /// `size < Tl`, not selected — not encoded anywhere.
+    NonSampledLl,
+}
+
+impl Hierarchy {
+    /// Encodes into the 2 header bits.
+    pub fn to_tag(self) -> u8 {
+        match self {
+            Hierarchy::HhCandidate => 0,
+            Hierarchy::HlCandidate => 1,
+            Hierarchy::SampledLl => 2,
+            Hierarchy::NonSampledLl => 3,
+        }
+    }
+
+    /// Decodes from the 2 header bits.
+    pub fn from_tag(tag: u8) -> Self {
+        match tag & 0b11 {
+            0 => Hierarchy::HhCandidate,
+            1 => Hierarchy::HlCandidate,
+            2 => Hierarchy::SampledLl,
+            _ => Hierarchy::NonSampledLl,
+        }
+    }
+}
+
+/// Hash-seed salts distinguishing encoder roles. All switches share these,
+/// which makes same-role encoders addable/subtractable network-wide.
+mod salt {
+    pub const HH: u64 = 0x48_48;
+    pub const HL: u64 = 0x48_4c;
+    pub const LL: u64 = 0x4c_4c;
+}
+
+/// One group of sketches (one of the two epoch-rotated copies).
+#[derive(Debug, Clone)]
+pub struct SketchGroup<F: FlowId> {
+    /// The flow classifier.
+    pub classifier: TowerSketch,
+    /// Upstream HH encoder (`m_hh` buckets/array).
+    pub up_hh: FermatSketch<F>,
+    /// Upstream HL encoder (`m_hl`).
+    pub up_hl: FermatSketch<F>,
+    /// Upstream LL encoder (`m_ll`; zero-sized in the healthy state).
+    pub up_ll: FermatSketch<F>,
+    /// Downstream HL encoder (same geometry as upstream HL).
+    pub down_hl: FermatSketch<F>,
+    /// Downstream LL encoder (same geometry as upstream LL).
+    pub down_ll: FermatSketch<F>,
+    /// The runtime configuration this group monitors under.
+    pub runtime: RuntimeConfig,
+}
+
+impl<F: FlowId> SketchGroup<F> {
+    fn new(cfg: &DataPlaneConfig, runtime: RuntimeConfig) -> Self {
+        let p = runtime.partition;
+        SketchGroup {
+            classifier: TowerSketch::new(cfg.tower.clone()),
+            up_hh: FermatSketch::new(cfg.fermat_for(p.m_hh, salt::HH)),
+            up_hl: FermatSketch::new(cfg.fermat_for(p.m_hl, salt::HL)),
+            up_ll: FermatSketch::new(cfg.fermat_for(p.m_ll, salt::LL)),
+            down_hl: FermatSketch::new(cfg.fermat_for(p.m_hl, salt::HL)),
+            down_ll: FermatSketch::new(cfg.fermat_for(p.m_ll, salt::LL)),
+            runtime,
+        }
+    }
+}
+
+/// A snapshot of one group, as collected by the controller after the epoch
+/// it monitored ends.
+pub type CollectedGroup<F> = SketchGroup<F>;
+
+/// The data plane of one edge switch.
+#[derive(Debug, Clone)]
+pub struct EdgeDataPlane<F: FlowId> {
+    cfg: DataPlaneConfig,
+    /// groups[0] monitors even-timestamp epochs, groups[1] odd.
+    groups: [SketchGroup<F>; 2],
+    /// Reconfiguration staged by the controller; applied to a group when it
+    /// flips from "collected" to "monitoring" (§4.3: "the reconfiguration
+    /// will not function immediately, but in the next epoch").
+    pending: Option<RuntimeConfig>,
+    /// The sampler's hash (shared network-wide so ingress decisions are
+    /// consistent; egress trusts the header tag anyway).
+    sample_hash: PairwiseHash,
+}
+
+impl<F: FlowId> EdgeDataPlane<F> {
+    /// Builds a data plane with the initial runtime configuration.
+    pub fn new(cfg: DataPlaneConfig, runtime: RuntimeConfig) -> Self {
+        cfg.validate().expect("invalid static config");
+        runtime.validate(&cfg).expect("invalid runtime config");
+        let sample_hash = PairwiseHash::from_seed(cfg.seed ^ 0x5a3b_1e00);
+        let groups = [
+            SketchGroup::new(&cfg, runtime.clone()),
+            SketchGroup::new(&cfg, runtime),
+        ];
+        EdgeDataPlane { cfg, groups, pending: None, sample_hash }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &DataPlaneConfig {
+        &self.cfg
+    }
+
+    /// The group monitoring epochs with timestamp bit `ts`.
+    pub fn group(&self, ts: u8) -> &SketchGroup<F> {
+        &self.groups[(ts & 1) as usize]
+    }
+
+    fn group_mut(&mut self, ts: u8) -> &mut SketchGroup<F> {
+        &mut self.groups[(ts & 1) as usize]
+    }
+
+    /// Classifies and encodes a packet entering the network here; returns
+    /// the hierarchy for the header tag (§3.2.1–3.2.2).
+    pub fn on_ingress(&mut self, f: &F, ts: u8) -> Hierarchy {
+        let key = f.key64();
+        let sample16 = self.sample_hash.sample16(key) as u32;
+        let g = self.group_mut(ts);
+        let size = g.classifier.insert_and_query(key);
+        let rt = &g.runtime;
+        let h = if size >= rt.th {
+            Hierarchy::HhCandidate
+        } else if size >= rt.tl {
+            Hierarchy::HlCandidate
+        } else if sample16 < rt.sample_threshold {
+            Hierarchy::SampledLl
+        } else {
+            Hierarchy::NonSampledLl
+        };
+        match h {
+            Hierarchy::HhCandidate => g.up_hh.insert(f),
+            Hierarchy::HlCandidate => g.up_hl.insert(f),
+            Hierarchy::SampledLl => g.up_ll.insert(f),
+            Hierarchy::NonSampledLl => {}
+        }
+        h
+    }
+
+    /// Encodes a packet exiting the network here, per the carried tag.
+    /// HH candidates are encoded into the **downstream HL encoder**
+    /// (§3.2.3: "packets of HH candidates are also encoded into the
+    /// downstream HL encoder").
+    pub fn on_egress(&mut self, f: &F, ts: u8, h: Hierarchy) {
+        let g = self.group_mut(ts);
+        match h {
+            Hierarchy::HhCandidate | Hierarchy::HlCandidate => g.down_hl.insert(f),
+            Hierarchy::SampledLl => g.down_ll.insert(f),
+            Hierarchy::NonSampledLl => {}
+        }
+    }
+
+    /// Controller staging: the next flip applies this runtime to the group
+    /// that begins monitoring.
+    pub fn stage_runtime(&mut self, rt: RuntimeConfig) {
+        rt.validate(&self.cfg).expect("invalid staged runtime");
+        self.pending = Some(rt);
+    }
+
+    /// Collects (snapshots) the group that monitored epochs with timestamp
+    /// `ts` — called by the controller right after that epoch ends.
+    pub fn collect_group(&self, ts: u8) -> CollectedGroup<F> {
+        self.group(ts).clone()
+    }
+
+    /// Epoch flip: the group that monitored timestamp `ended_ts` has been
+    /// collected; reset it, and install any staged reconfiguration on
+    /// **both** groups — the other group is empty (it was collected and
+    /// reset at the previous flip) and begins monitoring the next epoch
+    /// right now, which is exactly when the paper's updated table entries
+    /// (matching the next timestamp value) start functioning (§4.3, §D.2).
+    pub fn flip(&mut self, ended_ts: u8) {
+        let rt = self
+            .pending
+            .take()
+            .unwrap_or_else(|| self.group(ended_ts).runtime.clone());
+        let ended = (ended_ts & 1) as usize;
+        let other = 1 - ended;
+        debug_assert!(
+            self.groups[other].up_hh.is_zero() && self.groups[other].up_hl.is_zero(),
+            "the idle group must be empty at the flip"
+        );
+        self.groups[ended] = SketchGroup::new(&self.cfg, rt.clone());
+        self.groups[other] = SketchGroup::new(&self.cfg, rt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Partition;
+
+    fn dp(seed: u64) -> EdgeDataPlane<u32> {
+        let cfg = DataPlaneConfig::small(seed);
+        let rt = RuntimeConfig::initial(&cfg);
+        EdgeDataPlane::new(cfg, rt)
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for h in [
+            Hierarchy::HhCandidate,
+            Hierarchy::HlCandidate,
+            Hierarchy::SampledLl,
+            Hierarchy::NonSampledLl,
+        ] {
+            assert_eq!(Hierarchy::from_tag(h.to_tag()), h);
+        }
+    }
+
+    #[test]
+    fn initial_state_classifies_everything_hh() {
+        // Th = 1: every flow's first packet already reaches size 1 ≥ Th.
+        let mut d = dp(1);
+        let h = d.on_ingress(&42, 0);
+        assert_eq!(h, Hierarchy::HhCandidate);
+        let r = d.group(0).up_hh.decode();
+        assert_eq!(r.flows.get(&42), Some(&1));
+    }
+
+    #[test]
+    fn thresholds_route_to_hierarchies() {
+        let cfg = DataPlaneConfig::small(2);
+        let mut rt = RuntimeConfig::initial(&cfg);
+        rt.partition = Partition { m_hh: 128, m_hl: 320, m_ll: 64 };
+        rt.th = 10;
+        rt.tl = 3;
+        let mut d = EdgeDataPlane::<u32>::new(cfg, rt);
+        // Packets 1-2: size < 3 -> LL (sampled; rate 1.0).
+        assert_eq!(d.on_ingress(&7, 0), Hierarchy::SampledLl);
+        assert_eq!(d.on_ingress(&7, 0), Hierarchy::SampledLl);
+        // Packets 3-9: HL candidate.
+        for _ in 3..10 {
+            assert_eq!(d.on_ingress(&7, 0), Hierarchy::HlCandidate);
+        }
+        // Packet 10+: HH candidate.
+        assert_eq!(d.on_ingress(&7, 0), Hierarchy::HhCandidate);
+        let g = d.group(0);
+        assert_eq!(g.up_ll.decode().flows.get(&7), Some(&2));
+        assert_eq!(g.up_hl.decode().flows.get(&7), Some(&7));
+        assert_eq!(g.up_hh.decode().flows.get(&7), Some(&1));
+    }
+
+    #[test]
+    fn sampling_threshold_zero_drops_all_ll() {
+        let cfg = DataPlaneConfig::small(3);
+        let mut rt = RuntimeConfig::initial(&cfg);
+        rt.partition = Partition { m_hh: 128, m_hl: 320, m_ll: 64 };
+        rt.th = 100;
+        rt.tl = 100; // everything below 100 is LL
+        rt.sample_threshold = 0; // sample nothing
+        let mut d = EdgeDataPlane::<u32>::new(cfg, rt);
+        for f in 0..50u32 {
+            assert_eq!(d.on_ingress(&f, 0), Hierarchy::NonSampledLl);
+        }
+        assert!(d.group(0).up_ll.is_zero());
+    }
+
+    #[test]
+    fn egress_routes_hh_to_down_hl() {
+        let mut d = dp(4);
+        d.on_egress(&9, 0, Hierarchy::HhCandidate);
+        d.on_egress(&9, 0, Hierarchy::HlCandidate);
+        let g = d.group(0);
+        assert_eq!(g.down_hl.decode().flows.get(&9), Some(&2));
+        assert!(g.down_ll.is_zero());
+    }
+
+    #[test]
+    fn groups_are_isolated_by_timestamp() {
+        let mut d = dp(5);
+        d.on_ingress(&1, 0);
+        d.on_ingress(&2, 1);
+        assert_eq!(d.group(0).up_hh.decode().flows.len(), 1);
+        assert_eq!(d.group(1).up_hh.decode().flows.len(), 1);
+        assert!(d.group(0).up_hh.decode().flows.contains_key(&1));
+        assert!(d.group(1).up_hh.decode().flows.contains_key(&2));
+    }
+
+    #[test]
+    fn flip_clears_and_applies_staged_runtime() {
+        let mut d = dp(6);
+        d.on_ingress(&1, 0);
+        let cfg = d.config().clone();
+        let mut rt = RuntimeConfig::initial(&cfg);
+        rt.th = 77;
+        d.stage_runtime(rt);
+        d.flip(0);
+        assert!(d.group(0).up_hh.is_zero(), "group must be reset");
+        assert_eq!(d.group(0).runtime.th, 77, "staged config must apply");
+        // The idle group starts monitoring the next epoch under the new
+        // configuration too (next-epoch semantics, §4.3).
+        assert_eq!(d.group(1).runtime.th, 77);
+    }
+
+    #[test]
+    fn upstream_downstream_encoders_are_compatible_across_switches() {
+        // Two different switches, same config: their HL encoders must be
+        // addable/subtractable (identical hash functions & geometry).
+        let a = dp(7);
+        let b = dp(7);
+        assert!(a.group(0).up_hl.compatible(&b.group(0).down_hl));
+    }
+
+    #[test]
+    fn loss_detection_end_to_end_single_switch() {
+        let mut d = dp(8);
+        // 100 flows × 5 packets; flows 0..10 lose 2 packets each.
+        for f in 0..100u32 {
+            for i in 0..5 {
+                let h = d.on_ingress(&f, 0);
+                let dropped = f < 10 && i < 2;
+                if !dropped {
+                    d.on_egress(&f, 0, h);
+                }
+            }
+        }
+        let g = d.collect_group(0);
+        // Healthy initial config: everything is a HH candidate; reinsert HH
+        // flowset into up_hl, then delta = up_hl - down_hl.
+        let hh = g.up_hh.decode();
+        assert!(hh.success);
+        let mut up_hl = g.up_hl.clone();
+        for (f, c) in &hh.flows {
+            up_hl.insert_weighted(f, *c);
+        }
+        up_hl.sub_assign_sketch(&g.down_hl);
+        let delta = up_hl.decode();
+        assert!(delta.success);
+        assert_eq!(delta.flows.len(), 10);
+        for (f, lost) in delta.flows {
+            assert!(f < 10);
+            assert_eq!(lost, 2);
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! **ChameleMon** — the paper's primary contribution: a network-wide
+//! measurement system that supports packet loss tasks and packet
+//! accumulation tasks *simultaneously* and shifts measurement attention
+//! between them as the network state changes (§2–§4).
+//!
+//! The crate is organized like the system:
+//!
+//! * [`config`] — static (compile-time) and runtime (reconfigurable)
+//!   parameters: encoder partition sizes, thresholds `Th`/`Tl`, LL sample
+//!   rate;
+//! * [`dataplane`] — the per-edge-switch data plane: TowerSketch flow
+//!   classifier + partitioned upstream flow encoder (HH/HL/LL) + partitioned
+//!   downstream flow encoder (HL/LL), with two sketch groups rotated by the
+//!   1-bit epoch timestamp (§3.2, Appendix B);
+//! * [`control`] — the central controller: collection, network-wide
+//!   analysis, the healthy/ill network-state machine, and the
+//!   attention-shifting reconfiguration (§4.3);
+//! * [`tasks`] — the seven measurement tasks (§4.2);
+//! * [`resources`] — the Tofino resource accounting behind Table 1 and the
+//!   reconfiguration-time model behind Figure 22 (Appendix D).
+//!
+//! # Quick start
+//!
+//! ```
+//! use chamelemon::{ChameleMon, config::DataPlaneConfig};
+//! use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+//!
+//! // A small deployment over the 4-edge testbed topology.
+//! let mut system = ChameleMon::testbed(DataPlaneConfig::small(0x5eed));
+//! let trace = testbed_trace(WorkloadKind::Dctcp, 2_000, 8, 1);
+//! let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.05), 0.01, 2);
+//!
+//! // Run a few epochs; the controller analyzes and reconfigures each time.
+//! for _ in 0..3 {
+//!     let outcome = system.run_epoch(&trace, &plan);
+//!     println!(
+//!         "epoch {}: {} victim flows reported",
+//!         outcome.report.epoch,
+//!         outcome.analysis.loss_report.len()
+//!     );
+//! }
+//! ```
+
+pub mod config;
+pub mod control;
+pub mod dataplane;
+pub mod resources;
+pub mod tasks;
+
+pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
+pub use control::{Controller, EpochAnalysis, NetworkState};
+pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
+
+use chm_netsim::{EdgeHooks, FatTree, SimConfig, Simulator};
+use chm_netsim::sim::{EpochReport, Routable};
+use chm_workloads::{LossPlan, Trace};
+
+/// A full deployment: one data plane per edge switch, a simulator that
+/// drives packets through them, and the central controller.
+///
+/// This is the highest-level API — examples and the figure-7/8/9 experiments
+/// use it directly. Lower-level pieces ([`EdgeDataPlane`], [`Controller`])
+/// are public for finer-grained use.
+pub struct ChameleMon<F: chm_common::FlowId> {
+    /// Per-edge-switch data planes.
+    pub edges: Vec<EdgeDataPlane<F>>,
+    /// The central controller.
+    pub controller: Controller<F>,
+    /// The packet-level simulator standing in for the testbed fabric.
+    pub simulator: Simulator,
+}
+
+/// Everything produced by one epoch: the simulator's ground truth and the
+/// controller's analysis of the collected sketches.
+pub struct EpochOutcome<F: chm_common::FlowId> {
+    /// Ground truth (delivered/lost per flow) from the fabric.
+    pub report: EpochReport<F>,
+    /// The controller's decoded view and estimates.
+    pub analysis: EpochAnalysis<F>,
+    /// The runtime configuration that *was in effect* during this epoch.
+    pub config_in_effect: RuntimeConfig,
+    /// The runtime configuration the controller staged for the next epoch.
+    pub staged_runtime: RuntimeConfig,
+    /// Wall-clock time the controller spent analyzing + reconfiguring — the
+    /// "response time" of Figure 20.
+    pub response_time_s: f64,
+}
+
+struct EdgeArray<'a, F: chm_common::FlowId>(&'a mut [EdgeDataPlane<F>]);
+
+impl<F: chm_common::FlowId> EdgeHooks<F> for EdgeArray<'_, F> {
+    fn on_ingress(&mut self, edge: usize, f: &F, ts_bit: u8) -> u8 {
+        self.0[edge].on_ingress(f, ts_bit).to_tag()
+    }
+
+    fn on_egress(&mut self, edge: usize, f: &F, ts_bit: u8, tag: u8) {
+        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
+    }
+}
+
+impl<F: chm_common::FlowId> ChameleMon<F> {
+    /// Builds a deployment over the §5.2 testbed fat-tree (4 edge switches).
+    pub fn testbed(cfg: DataPlaneConfig) -> Self {
+        Self::new(cfg, FatTree::testbed(), SimConfig::default())
+    }
+
+    /// Builds a deployment over an arbitrary topology.
+    pub fn new(cfg: DataPlaneConfig, topology: FatTree, sim: SimConfig) -> Self {
+        let runtime = RuntimeConfig::initial(&cfg);
+        let edges = (0..topology.n_edge)
+            .map(|_| EdgeDataPlane::new(cfg.clone(), runtime.clone()))
+            .collect();
+        ChameleMon {
+            edges,
+            controller: Controller::new(cfg),
+            simulator: Simulator::new(topology, sim),
+        }
+    }
+
+    /// Runs one full epoch: replay the trace with losses, flip the epoch
+    /// timestamp, collect the finished sketch group from every edge,
+    /// analyze, reconfigure (effective next epoch), and install the new
+    /// runtime configuration.
+    pub fn run_epoch(&mut self, trace: &Trace<F>, plan: &LossPlan<F>) -> EpochOutcome<F>
+    where
+        F: Routable,
+    {
+        let config_in_effect = self.controller.deployed_runtime().clone();
+        let report = {
+            let mut hooks = EdgeArray(&mut self.edges);
+            self.simulator.run_epoch(trace, plan, &mut hooks)
+        };
+        let ts_bit = (report.epoch & 1) as u8;
+        // Epoch ended: collect the group that monitored it.
+        let collected: Vec<CollectedGroup<F>> =
+            self.edges.iter().map(|e| e.collect_group(ts_bit)).collect();
+        let t0 = std::time::Instant::now();
+        let analysis = self.controller.analyze_epoch(&collected);
+        let new_runtime = self.controller.reconfigure(&analysis);
+        let response_time_s = t0.elapsed().as_secs_f64();
+        // The reconfiguration functions in the *next* epoch (§4.3): stage it
+        // on every edge; the flip below swaps groups and applies it.
+        for e in &mut self.edges {
+            e.stage_runtime(new_runtime.clone());
+            e.flip(ts_bit);
+        }
+        EpochOutcome {
+            report,
+            analysis,
+            config_in_effect,
+            staged_runtime: new_runtime,
+            response_time_s,
+        }
+    }
+}

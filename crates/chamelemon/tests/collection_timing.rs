@@ -1,0 +1,82 @@
+//! Appendix B in practice: why the controller must wait for in-flight
+//! packets (and clock error) before collecting the downstream encoders.
+//!
+//! If the controller snapshots the sketches while packets that already
+//! passed an upstream encoder are still in flight toward their egress
+//! switch, the upstream−downstream delta contains those packets — they are
+//! indistinguishable from losses and decode as *false victims*. Waiting
+//! `sync_error + max_transit` (the appendix recommends ~10 ms for ≤5-hop
+//! DCNs) empties the pipeline first.
+
+use chamelemon::config::{DataPlaneConfig, RuntimeConfig};
+use chamelemon::control::Controller;
+use chamelemon::dataplane::{EdgeDataPlane, Hierarchy};
+use chm_netsim::EpochClock;
+
+/// Drives two switches; `in_flight` packets are inserted upstream but not
+/// yet downstream at collection time.
+fn run_with_in_flight(
+    in_flight: usize,
+) -> (usize /* reported victims */, usize /* true victims */) {
+    let cfg = DataPlaneConfig::small(77);
+    let rt = RuntimeConfig::initial(&cfg);
+    let mut ingress = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    let mut egress = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
+
+    // 300 flows × 4 packets; flows 0..5 really lose one packet each.
+    let mut pending: Vec<(u32, Hierarchy)> = Vec::new();
+    for f in 0..300u32 {
+        for i in 0..4u64 {
+            let h = ingress.on_ingress(&f, 0);
+            let truly_lost = f < 5 && i == 0;
+            if truly_lost {
+                continue;
+            }
+            // The last `in_flight` packets of the epoch are still in the
+            // fabric when the controller collects.
+            if f >= 300 - (in_flight as u32) && i == 3 {
+                pending.push((f, h));
+            } else {
+                egress.on_egress(&f, 0, h);
+            }
+        }
+    }
+    let collected = vec![ingress.collect_group(0), egress.collect_group(0)];
+    let ctl = Controller::<u32>::new(cfg);
+    let analysis = ctl.analyze_epoch(&collected);
+    // (The in-flight packets arrive afterwards — too late.)
+    drop(pending);
+    (analysis.loss_report.len(), 5)
+}
+
+#[test]
+fn premature_collection_reports_false_victims() {
+    let (reported, truth) = run_with_in_flight(40);
+    assert!(
+        reported > truth,
+        "in-flight packets must surface as false victims (got {reported})"
+    );
+}
+
+#[test]
+fn drained_pipeline_reports_exact_victims() {
+    let (reported, truth) = run_with_in_flight(0);
+    assert_eq!(reported, truth);
+}
+
+#[test]
+fn collection_window_excludes_unsafe_times() {
+    // The §D.2 budget: 50 ms epochs, 0.5 ms sync error, 6.88 ms transit
+    // wait, ~3.45 ms of actual collection.
+    let clock = EpochClock::new(50.0);
+    let sync = 0.5;
+    let transit = 6.88;
+    let dur = 3.45;
+    // Immediately after the flip: unsafe (in-flight packets).
+    assert!(!clock.collection_window_ok(50.5, sync, transit, dur));
+    // The §D.2 schedule starts collecting the downstream encoders at
+    // ~+7.88 ms; that instant must be safe.
+    assert!(clock.collection_window_ok(50.0 + sync + transit + 0.01, sync, transit, dur));
+    // Too close to the next flip: unsafe (next epoch's inserts).
+    assert!(!clock.collection_window_ok(99.0, sync, transit, dur));
+}

@@ -1,0 +1,204 @@
+//! Direct tests of the controller's analysis + reconfiguration state
+//! machine (§4.3) against hand-built data-plane states — no simulator, so
+//! each scenario pins one specific branch of the state machine.
+
+use chamelemon::config::{DataPlaneConfig, RuntimeConfig};
+use chamelemon::control::{Controller, NetworkState, TARGET_LOAD};
+use chamelemon::dataplane::{CollectedGroup, EdgeDataPlane};
+
+/// Builds one switch's collected group after pushing a hand-made workload.
+fn run_switch(
+    cfg: &DataPlaneConfig,
+    rt: &RuntimeConfig,
+    flows: &[(u32, u64, u64)], // (flow, packets, lost)
+) -> CollectedGroup<u32> {
+    let mut dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    for &(f, pkts, lost) in flows {
+        for i in 0..pkts {
+            let h = dp.on_ingress(&f, 0);
+            if i >= lost {
+                dp.on_egress(&f, 0, h);
+            }
+        }
+    }
+    dp.collect_group(0)
+}
+
+#[test]
+fn healthy_idle_network_keeps_initial_config() {
+    let cfg = DataPlaneConfig::small(1);
+    let rt = RuntimeConfig::initial(&cfg);
+    // 50 small flows, no losses: nothing should move much.
+    let flows: Vec<(u32, u64, u64)> = (0..50).map(|f| (f, 3, 0)).collect();
+    let g = run_switch(&cfg, &rt, &flows);
+    let mut ctl = Controller::<u32>::new(cfg.clone());
+    let a = ctl.analyze_epoch(&[g]);
+    assert!(a.hh_decode_ok);
+    assert!(a.loss_report.is_empty());
+    let new_rt = ctl.reconfigure(&a);
+    assert_eq!(ctl.state(), NetworkState::Healthy);
+    assert_eq!(new_rt.tl, 1);
+    assert_eq!(new_rt.partition.m_ll, 0);
+}
+
+#[test]
+fn hh_overload_raises_th_and_stops() {
+    let cfg = DataPlaneConfig::small(2);
+    let rt = RuntimeConfig::initial(&cfg);
+    // Th = 1 and far more flows than the HH encoder can decode.
+    let flows: Vec<(u32, u64, u64)> = (0..5_000).map(|f| (f, 2, 0)).collect();
+    let g = run_switch(&cfg, &rt, &flows);
+    let mut ctl = Controller::<u32>::new(cfg.clone());
+    let a = ctl.analyze_epoch(&[g]);
+    assert!(!a.hh_decode_ok, "HH encoder must be overloaded");
+    let new_rt = ctl.reconfigure(&a);
+    assert!(new_rt.th > rt.th, "Th must be turned up");
+    assert_eq!(ctl.state(), NetworkState::Healthy, "no transition on step 1");
+}
+
+#[test]
+fn hl_expansion_when_delta_hl_fails() {
+    let cfg = DataPlaneConfig::small(3);
+    // Configure a sane Th so HH decodes, but flood the (minimum-size) HL
+    // encoder with more victims than it can decode.
+    let mut rt = RuntimeConfig::initial(&cfg);
+    rt.th = 50;
+    // 400 victim flows of size 4 (< Th → HL candidates), each losing 1.
+    let flows: Vec<(u32, u64, u64)> = (0..400).map(|f| (f, 4, 1)).collect();
+    let g = run_switch(&cfg, &rt, &flows);
+    let mut ctl = Controller::<u32>::new(cfg.clone());
+    // Align the controller's deployed runtime with the collected group's.
+    let a0 = ctl.analyze_epoch(std::slice::from_ref(&g));
+    assert!(a0.hh_decode_ok);
+    assert!(
+        a0.hl_flowset.is_none(),
+        "delta HL must fail: 400 victims in {} buckets",
+        rt.partition.m_hl * 3
+    );
+    let before_hl = ctl.deployed_runtime().partition.m_hl;
+    let new_rt = ctl.reconfigure(&a0);
+    match ctl.state() {
+        NetworkState::Healthy => {
+            assert!(
+                new_rt.partition.m_hl > before_hl,
+                "HL encoder must expand ({} -> {})",
+                before_hl,
+                new_rt.partition.m_hl
+            );
+        }
+        NetworkState::Ill => {
+            assert_eq!(new_rt.partition, cfg.ill_partition);
+        }
+    }
+}
+
+#[test]
+fn hl_compression_when_load_low() {
+    let cfg = DataPlaneConfig::small(4);
+    // Deploy a runtime with an oversized HL encoder, then present a nearly
+    // loss-free epoch: the controller should compress back toward the
+    // reserved minimum (§4.3.1 step 2, load < 60%).
+    let mut rt = RuntimeConfig::initial(&cfg);
+    rt.partition = chamelemon::config::Partition {
+        m_hh: cfg.m_uf - 256,
+        m_hl: 256,
+        m_ll: 0,
+    };
+    rt.th = 100;
+    let flows: Vec<(u32, u64, u64)> = (0..300)
+        .map(|f| (f, 5, u64::from(f < 3)))
+        .collect();
+    let g = run_switch(&cfg, &rt, &flows);
+    let mut ctl = Controller::<u32>::new(cfg.clone());
+    // Make the controller believe the deployed runtime is `rt`.
+    let a0 = ctl.analyze_epoch(std::slice::from_ref(&g));
+    let _ = ctl.reconfigure(&a0); // sync controller onto its own output
+    let a = ctl.analyze_epoch(&[g]);
+    if a.hh_decode_ok && a.hl_flowset.is_some() {
+        let new_rt = ctl.reconfigure(&a);
+        assert!(
+            new_rt.partition.m_hl <= 256,
+            "HL must not grow on an idle network"
+        );
+        assert!(new_rt.partition.m_hl >= cfg.min_hl_buckets);
+    }
+}
+
+#[test]
+fn ill_state_recovers_when_victims_disappear() {
+    let cfg = DataPlaneConfig::small(5);
+    let mut ctl = Controller::<u32>::new(cfg.clone());
+    // Force the ill state by simulating its entry conditions: deploy the
+    // ill partition via a real overload epoch first.
+    let rt0 = RuntimeConfig::initial(&cfg);
+    let overload: Vec<(u32, u64, u64)> = (0..3_000).map(|f| (f, 3, 1)).collect();
+    for _ in 0..4 {
+        let g = run_switch(&cfg, ctl.deployed_runtime(), &overload);
+        let a = ctl.analyze_epoch(&[g]);
+        ctl.reconfigure(&a);
+        if ctl.state() == NetworkState::Ill {
+            break;
+        }
+    }
+    assert_eq!(ctl.state(), NetworkState::Ill, "overload must reach ill state");
+    // Now a healthy workload: few victims.
+    let calm: Vec<(u32, u64, u64)> = (0..500)
+        .map(|f| (f, 4, u64::from(f < 5)))
+        .collect();
+    for _ in 0..4 {
+        let g = run_switch(&cfg, ctl.deployed_runtime(), &calm);
+        let a = ctl.analyze_epoch(&[g]);
+        ctl.reconfigure(&a);
+        if ctl.state() == NetworkState::Healthy {
+            break;
+        }
+    }
+    assert_eq!(ctl.state(), NetworkState::Healthy);
+    assert_eq!(ctl.deployed_runtime().partition.m_ll, 0);
+    assert_eq!(ctl.deployed_runtime().tl, 1);
+    let _ = rt0;
+}
+
+#[test]
+fn multi_switch_cross_traffic_decodes_losses() {
+    // Flows enter at switch 0 and exit at switch 1: the cumulative
+    // upstream/downstream construction must still isolate the victims.
+    let cfg = DataPlaneConfig::small(6);
+    let rt = RuntimeConfig::initial(&cfg);
+    let mut in_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    let mut out_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    for f in 0..200u32 {
+        let lost = u64::from(f % 20 == 0);
+        for i in 0..5u64 {
+            let h = in_dp.on_ingress(&f, 0);
+            if i >= lost {
+                out_dp.on_egress(&f, 0, h);
+            }
+        }
+    }
+    let ctl = Controller::<u32>::new(cfg);
+    let a = ctl.analyze_epoch(&[in_dp.collect_group(0), out_dp.collect_group(0)]);
+    assert!(a.hh_decode_ok);
+    assert_eq!(a.loss_report.len(), 10);
+    for (f, &l) in &a.loss_report {
+        assert_eq!(f % 20, 0);
+        assert_eq!(l, 1);
+    }
+}
+
+#[test]
+fn target_load_constant_is_paper_value() {
+    assert!((TARGET_LOAD - 0.70).abs() < 1e-12);
+}
+
+#[test]
+fn analysis_estimates_flow_count_per_switch() {
+    let cfg = DataPlaneConfig::small(7);
+    let rt = RuntimeConfig::initial(&cfg);
+    let flows: Vec<(u32, u64, u64)> = (0..600).map(|f| (f, 2, 0)).collect();
+    let g = run_switch(&cfg, &rt, &flows);
+    let ctl = Controller::<u32>::new(cfg);
+    let a = ctl.analyze_epoch(&[g]);
+    let est = a.est_flows_per_switch[0];
+    assert!((est - 600.0).abs() / 600.0 < 0.2, "estimate {est}");
+}

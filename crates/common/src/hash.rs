@@ -1,0 +1,202 @@
+//! Seeded, pairwise-independent hashing.
+//!
+//! Every sketch in the paper associates each counter/bucket array with a
+//! pairwise-independent hash function (§3.1, §3.2.1). On Tofino these are CRC
+//! units with distinct polynomials; in software we use the textbook
+//! construction `h(x) = ((a·x + b) mod p) mod m` over the Mersenne prime
+//! `p = 2^61 − 1`, with `(a, b)` drawn deterministically from a seed so that
+//! upstream and downstream encoders (on *different* switches) can share the
+//! exact same functions — a correctness requirement for FermatSketch
+//! addition/subtraction (§3.1).
+
+use crate::prime::{mul_mod, reduce64, MERSENNE_P};
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixer.
+///
+/// Used (a) to derive per-array `(a, b)` coefficients from a master seed and
+/// (b) to compress multi-word flow IDs to a single 64-bit word before the
+/// pairwise stage.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Combines two 64-bit words into one (for multi-fragment flow IDs).
+#[inline]
+pub fn combine64(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b).rotate_left(31))
+}
+
+/// One pairwise-independent hash function `h(x) = ((a·x + b) mod p) mod m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairwiseHash {
+    a: u64,
+    b: u64,
+}
+
+impl PairwiseHash {
+    /// Derives a hash function deterministically from a seed.
+    pub fn from_seed(seed: u64) -> Self {
+        // `a` must be non-zero mod p for pairwise independence.
+        let mut a = reduce64(mix64(seed ^ 0xa5a5_a5a5_a5a5_a5a5));
+        if a == 0 {
+            a = 1;
+        }
+        let b = reduce64(mix64(seed ^ 0x5a5a_5a5a_5a5a_5a5a));
+        PairwiseHash { a, b }
+    }
+
+    /// Hashes a pre-mixed 64-bit key into `[0, m)`.
+    #[inline]
+    pub fn index(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        let v = self.raw(key);
+        (v % m as u64) as usize
+    }
+
+    /// The full-range hash value in `[0, p)` before range reduction.
+    #[inline]
+    pub fn raw(&self, key: u64) -> u64 {
+        let x = reduce64(mix64(key));
+        let ax = mul_mod(self.a, x);
+        let s = ax + self.b; // < 2^62
+        if s >= MERSENNE_P {
+            s - MERSENNE_P
+        } else {
+            s
+        }
+    }
+
+    /// A uniform value in `[0, 2^16)`, matching the 16-bit comparison used by
+    /// the Tofino sampling stage (§D.1).
+    #[inline]
+    pub fn sample16(&self, key: u64) -> u16 {
+        (self.raw(key) >> 16) as u16
+    }
+}
+
+/// A family of `d` independent hash functions sharing a master seed.
+///
+/// Sketches that need one function per array (`d` bucket arrays in
+/// FermatSketch, `l` counter arrays in TowerSketch) construct a family so the
+/// per-array seeds are reproducible and decorrelated.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    fns: Vec<PairwiseHash>,
+    master_seed: u64,
+}
+
+impl HashFamily {
+    /// Builds `d` hash functions from `master_seed`.
+    pub fn new(master_seed: u64, d: usize) -> Self {
+        let fns = (0..d)
+            .map(|i| PairwiseHash::from_seed(mix64(master_seed).wrapping_add(i as u64 * 0x9e37_79b9)))
+            .collect();
+        HashFamily { fns, master_seed }
+    }
+
+    /// Number of functions in the family.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when the family is empty (never the case for valid sketches).
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// The `i`-th hash function.
+    #[inline]
+    pub fn get(&self, i: usize) -> &PairwiseHash {
+        &self.fns[i]
+    }
+
+    /// The master seed the family was derived from (for config echo).
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Hashes `key` with function `i` into `[0, m)`.
+    #[inline]
+    pub fn index(&self, i: usize, key: u64, m: usize) -> usize {
+        self.fns[i].index(key, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_nontrivial() {
+        assert_eq!(mix64(0), mix64(0));
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic() {
+        let h1 = PairwiseHash::from_seed(42);
+        let h2 = PairwiseHash::from_seed(42);
+        assert_eq!(h1, h2);
+        assert_ne!(PairwiseHash::from_seed(42), PairwiseHash::from_seed(43));
+    }
+
+    #[test]
+    fn index_stays_in_range() {
+        let h = PairwiseHash::from_seed(7);
+        for m in [1usize, 2, 3, 1000, 4096] {
+            for key in 0..200u64 {
+                assert!(h.index(key, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let h = PairwiseHash::from_seed(99);
+        let m = 64;
+        let n = 64_000u64;
+        let mut counts = vec![0u32; m];
+        for key in 0..n {
+            counts[h.index(key, m)] += 1;
+        }
+        let expect = (n as usize / m) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "bin {i} count {c} deviates {dev:.2} from {expect}");
+        }
+    }
+
+    #[test]
+    fn family_functions_are_distinct() {
+        let fam = HashFamily::new(123, 3);
+        assert_eq!(fam.len(), 3);
+        let m = 1 << 20;
+        // Different functions should disagree on most keys.
+        let disagreements = (0..1000u64)
+            .filter(|&k| fam.index(0, k, m) != fam.index(1, k, m))
+            .count();
+        assert!(disagreements > 990, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn sample16_covers_range() {
+        let h = PairwiseHash::from_seed(5);
+        let mut lo = false;
+        let mut hi = false;
+        for k in 0..10_000u64 {
+            let s = h.sample16(k);
+            if s < 8192 {
+                lo = true;
+            }
+            if s > 57_344 {
+                hi = true;
+            }
+        }
+        assert!(lo && hi, "sample16 not covering the 16-bit range");
+    }
+}

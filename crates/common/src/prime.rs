@@ -1,0 +1,200 @@
+//! Modular arithmetic over the Mersenne prime `p = 2^61 − 1`.
+//!
+//! FermatSketch needs a prime `p` larger than any flow-ID fragment and any
+//! flow size (§3.1). The paper's Tofino prototype uses 32-bit lanes with a
+//! 32-bit prime; in software we can afford a single 61-bit Mersenne prime,
+//! which admits a branch-free reduction (`x mod (2^61−1)` via shift+add) and
+//! lets a 104-bit 5-tuple fit in two fragments instead of four.
+//!
+//! All functions assume their inputs are already reduced (`< p`) unless noted
+//! otherwise and are total — no panics for in-range inputs.
+
+/// The Mersenne prime `2^61 − 1` used as the modulus for all IDsum fields.
+pub const MERSENNE_P: u64 = (1u64 << 61) - 1;
+
+/// Reduces an arbitrary `u64` modulo `p = 2^61 − 1`.
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    // x = hi*2^61 + lo  =>  x ≡ hi + lo (mod 2^61−1)
+    let r = (x >> 61) + (x & MERSENNE_P);
+    if r >= MERSENNE_P {
+        r - MERSENNE_P
+    } else {
+        r
+    }
+}
+
+/// Reduces a 128-bit product modulo `p = 2^61 − 1`.
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // Split into three 61-bit limbs; each limb weight is ≡ 1 (mod p).
+    let lo = (x & MERSENNE_P as u128) as u64;
+    let mid = ((x >> 61) & MERSENNE_P as u128) as u64;
+    let hi = (x >> 122) as u64; // < 2^6
+    let mut r = lo as u128 + mid as u128 + hi as u128;
+    if r >= MERSENNE_P as u128 {
+        r -= MERSENNE_P as u128;
+    }
+    if r >= MERSENNE_P as u128 {
+        r -= MERSENNE_P as u128;
+    }
+    r as u64
+}
+
+/// Modular addition: `(a + b) mod p`.
+#[inline]
+pub fn add_mod(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    let s = a + b; // < 2^62, no overflow
+    if s >= MERSENNE_P {
+        s - MERSENNE_P
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction: `(a − b) mod p`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    if a >= b {
+        a - b
+    } else {
+        a + MERSENNE_P - b
+    }
+}
+
+/// Modular multiplication: `(a · b) mod p`.
+#[inline]
+pub fn mul_mod(a: u64, b: u64) -> u64 {
+    debug_assert!(a < MERSENNE_P && b < MERSENNE_P);
+    reduce128(a as u128 * b as u128)
+}
+
+/// Modular exponentiation by squaring: `b^e mod p`.
+pub fn pow_mod(mut b: u64, mut e: u64) -> u64 {
+    b = reduce64(b);
+    let mut acc = 1u64;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod(acc, b);
+        }
+        b = mul_mod(b, b);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat's little theorem: `a^(p−2) mod p`.
+///
+/// This is exactly the operation FermatSketch's pure-bucket verification
+/// performs to recover a flow ID from `(count, IDsum)`:
+/// `f' = IDsum · count^(p−2) mod p` (§3.1, Algorithm 2). Returns `None`
+/// for `a ≡ 0 (mod p)`, which has no inverse.
+pub fn inv_mod(a: u64) -> Option<u64> {
+    let a = reduce64(a);
+    if a == 0 {
+        return None;
+    }
+    Some(pow_mod(a, MERSENNE_P - 2))
+}
+
+/// Maps a signed count into `Z_p` (used when delta sketches transiently hold
+/// negative counts during false-positive cancellation, §A.2).
+#[inline]
+pub fn signed_to_mod(c: i64) -> u64 {
+    let m = c.rem_euclid(MERSENNE_P as i64);
+    m as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mersenne_p_is_expected_constant() {
+        assert_eq!(MERSENNE_P, 2_305_843_009_213_693_951);
+    }
+
+    #[test]
+    fn reduce64_handles_boundaries() {
+        assert_eq!(reduce64(0), 0);
+        assert_eq!(reduce64(MERSENNE_P), 0);
+        assert_eq!(reduce64(MERSENNE_P + 1), 1);
+        assert_eq!(reduce64(u64::MAX), u64::MAX % MERSENNE_P);
+    }
+
+    #[test]
+    fn reduce128_matches_naive_modulo() {
+        let samples: [u128; 6] = [
+            0,
+            1,
+            MERSENNE_P as u128,
+            (MERSENNE_P as u128) * (MERSENNE_P as u128),
+            u128::MAX,
+            0x1234_5678_9abc_def0_1234_5678_9abc_def0,
+        ];
+        for &x in &samples {
+            assert_eq!(reduce128(x) as u128, x % MERSENNE_P as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = MERSENNE_P - 5;
+        let b = 123_456;
+        assert_eq!(sub_mod(add_mod(a, b), b), a);
+        assert_eq!(sub_mod(0, 1), MERSENNE_P - 1);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let pairs = [
+            (2u64, 3u64),
+            (MERSENNE_P - 1, MERSENNE_P - 1),
+            (0x0fff_ffff_ffff_ffff, 7),
+        ];
+        for (a, b) in pairs {
+            let expect = ((a as u128 * b as u128) % MERSENNE_P as u128) as u64;
+            assert_eq!(mul_mod(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(pow_mod(2, 10), 1024);
+        assert_eq!(pow_mod(5, 0), 1);
+        assert_eq!(pow_mod(0, 5), 0);
+        // Fermat: a^(p-1) = 1 for a != 0.
+        assert_eq!(pow_mod(123_456_789, MERSENNE_P - 1), 1);
+    }
+
+    #[test]
+    fn inv_mod_is_multiplicative_inverse() {
+        for a in [1u64, 2, 3, 97, 1 << 52, MERSENNE_P - 1] {
+            let inv = inv_mod(a).unwrap();
+            assert_eq!(mul_mod(a, inv), 1, "a={a}");
+        }
+        assert_eq!(inv_mod(0), None);
+        assert_eq!(inv_mod(MERSENNE_P), None);
+    }
+
+    #[test]
+    fn fermat_id_recovery_identity() {
+        // The core FermatSketch identity: if a bucket holds `count` copies of
+        // flow id `f`, then IDsum = count*f and f = IDsum * count^(p-2).
+        let f = 0x000f_edcb_a987_6543u64;
+        let count = 41u64;
+        let idsum = mul_mod(count, f);
+        let recovered = mul_mod(idsum, inv_mod(count).unwrap());
+        assert_eq!(recovered, f);
+    }
+
+    #[test]
+    fn signed_to_mod_handles_negatives() {
+        assert_eq!(signed_to_mod(-1), MERSENNE_P - 1);
+        assert_eq!(signed_to_mod(0), 0);
+        assert_eq!(signed_to_mod(5), 5);
+        assert_eq!(signed_to_mod(-(MERSENNE_P as i64)), 0);
+    }
+}

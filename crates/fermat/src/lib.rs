@@ -1,0 +1,660 @@
+//! **FermatSketch** — the key technique of ChameleMon (§3.1, Appendix A).
+//!
+//! FermatSketch is an invertible sketch made of `d` equal-sized bucket
+//! arrays. Each bucket holds a *count* field and an *IDsum* field; inserting
+//! a packet of flow `f` increments the count and modularly adds `f` into the
+//! IDsum of one mapped bucket per array. Because the IDsum arithmetic is over
+//! a prime field, a bucket holding only packets of a single flow (*pure*
+//! bucket) satisfies `IDsum ≡ count · f (mod p)`, and Fermat's little theorem
+//! recovers the flow: `f = IDsum · count^(p−2) mod p`.
+//!
+//! The sketch is:
+//! * **dividable** — ChameleMon carves one physical sketch into HH/HL/LL
+//!   encoders by splitting the bucket range (`crates/chamelemon`);
+//! * **additive/subtractive** — sketches with identical parameters can be
+//!   added (to accumulate over switches) and subtracted (upstream −
+//!   downstream = victim flows), see [`FermatSketch::add_assign_sketch`] /
+//!   [`FermatSketch::sub_assign_sketch`];
+//! * **decodable** — [`FermatSketch::decode`] peels pure buckets queue-wise
+//!   (Algorithm 2), eliminating false-positive extractions automatically by
+//!   letting wrongly-extracted "negative flows" cancel (§A.2).
+//!
+//! Memory is `Θ(M)` in the number of encoded flows; with `d = 3`, decoding
+//! succeeds w.h.p. once buckets ≥ 1.23·M (Theorem 3.1).
+
+use chm_common::flowid::{FlowId, MAX_FRAGMENTS};
+use chm_common::hash::{HashFamily, PairwiseHash};
+use chm_common::prime::{add_mod, inv_mod, mul_mod, signed_to_mod, sub_mod};
+use std::collections::{HashMap, VecDeque};
+use std::marker::PhantomData;
+
+/// Recommended number of bucket arrays: `d = 3` maximizes memory efficiency
+/// (1.23 buckets/flow on average, footnote 3 / Theorem 3.1).
+pub const RECOMMENDED_ARRAYS: usize = 3;
+
+/// `c_d` — minimum average buckets per flow for a `d`-array sketch to decode
+/// w.h.p. (Theorem 3.1): `c_3 = 1.23`, `c_4 = 1.30`, `c_5 = 1.43`.
+pub fn c_d(d: usize) -> f64 {
+    match d {
+        3 => 1.23,
+        4 => 1.30,
+        5 => 1.43,
+        // The 2-core threshold has no sharp constant for d < 3; extrapolate
+        // conservatively for other d.
+        _ => 1.23 * (1.0 + 0.1 * (d as f64 - 3.0)).max(1.0),
+    }
+}
+
+/// Static configuration of a [`FermatSketch`].
+///
+/// Two sketches can be added/subtracted iff their configurations are equal
+/// (same hash functions, array count, bucket count, fingerprint width —
+/// §3.1 "Addition/Subtraction operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FermatConfig {
+    /// Number of bucket arrays `d`.
+    pub arrays: usize,
+    /// Buckets per array `m`.
+    pub buckets_per_array: usize,
+    /// Optional fingerprint width `w` in bits (0 disables, §A.4). Reduces the
+    /// pure-bucket false-positive rate from `1/m` to `1/(2^w · m)`.
+    pub fingerprint_bits: u32,
+    /// Master seed for the per-array hash functions.
+    pub seed: u64,
+}
+
+impl FermatConfig {
+    /// Convenience constructor with `d = 3` and no fingerprint.
+    pub fn standard(buckets_per_array: usize, seed: u64) -> Self {
+        FermatConfig {
+            arrays: RECOMMENDED_ARRAYS,
+            buckets_per_array,
+            fingerprint_bits: 0,
+            seed,
+        }
+    }
+
+    /// Total buckets `m·d`.
+    pub fn total_buckets(&self) -> usize {
+        self.arrays * self.buckets_per_array
+    }
+
+    /// Bytes of one bucket under the paper's CPU-evaluation accounting
+    /// (32-bit count field + one 32-bit ID lane per fragment + fingerprint
+    /// bits, §5.1). Used by the figure-4/5/6 harness so memory numbers are
+    /// comparable to the paper's.
+    pub fn logical_bucket_bytes<F: FlowId>(&self) -> f64 {
+        4.0 + 4.0 * F::FRAGMENTS as f64 + self.fingerprint_bits as f64 / 8.0
+    }
+
+    /// Total logical memory in bytes for flow-ID type `F`.
+    pub fn logical_memory_bytes<F: FlowId>(&self) -> f64 {
+        self.total_buckets() as f64 * self.logical_bucket_bytes::<F>()
+    }
+
+    /// Buckets-per-array needed to hold `flows` at the given `load_factor`
+    /// (e.g. the controller's 70% target, §4.3).
+    pub fn buckets_for(flows: usize, arrays: usize, load_factor: f64) -> usize {
+        let total = (flows as f64 / load_factor).ceil() as usize;
+        total.div_ceil(arrays).max(1)
+    }
+}
+
+/// Outcome of a decode pass.
+#[derive(Debug, Clone)]
+pub struct DecodeResult<F> {
+    /// Extracted flows and their (signed) sizes — the *Flowset* of
+    /// Algorithm 2. Zero-size cancellation residues are removed.
+    pub flows: HashMap<F, i64>,
+    /// True iff every bucket drained to zero (§3.1: "if there are still
+    /// non-zero buckets … the decoding is considered as failed").
+    pub success: bool,
+    /// Number of buckets still non-zero after peeling stopped.
+    pub remaining_nonzero: usize,
+}
+
+impl<F> DecodeResult<F> {
+    /// Flows with strictly positive decoded size (the usual consumer view).
+    pub fn positive_flows(&self) -> impl Iterator<Item = (&F, i64)> {
+        self.flows.iter().filter(|(_, &c)| c > 0).map(|(f, &c)| (f, c))
+    }
+}
+
+/// The FermatSketch data structure (Figure 2).
+#[derive(Debug, Clone)]
+pub struct FermatSketch<F: FlowId> {
+    cfg: FermatConfig,
+    hashes: HashFamily,
+    fp_hash: PairwiseHash,
+    /// Signed packet counts, `arrays × buckets` flattened row-major.
+    counts: Vec<i64>,
+    /// IDsum lanes mod p, `arrays × buckets × F::FRAGMENTS` flattened.
+    idsums: Vec<u64>,
+    /// Fingerprint-sum lane mod p (empty when fingerprints are disabled).
+    fpsums: Vec<u64>,
+    _id: PhantomData<F>,
+}
+
+impl<F: FlowId> FermatSketch<F> {
+    /// Creates an empty sketch. `cfg.buckets_per_array` may be zero (a
+    /// zero-memory encoder partition); such a sketch accepts no insertions.
+    pub fn new(cfg: FermatConfig) -> Self {
+        assert!(cfg.arrays >= 1, "FermatSketch needs at least one array");
+        assert!(
+            F::FRAGMENTS <= MAX_FRAGMENTS,
+            "flow id uses more fragments than supported"
+        );
+        assert!(cfg.fingerprint_bits <= 32, "fingerprint wider than 32 bits");
+        let n = cfg.total_buckets();
+        FermatSketch {
+            cfg,
+            hashes: HashFamily::new(cfg.seed, cfg.arrays),
+            fp_hash: PairwiseHash::from_seed(cfg.seed ^ 0xf19e_0fae_57a1_1ed5),
+            counts: vec![0; n],
+            idsums: vec![0; n * F::FRAGMENTS],
+            fpsums: if cfg.fingerprint_bits > 0 { vec![0; n] } else { Vec::new() },
+            _id: PhantomData,
+        }
+    }
+
+    /// The sketch configuration.
+    pub fn config(&self) -> &FermatConfig {
+        &self.cfg
+    }
+
+    /// True when this sketch can be added to / subtracted from `other`.
+    pub fn compatible(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+    }
+
+    /// Whether the sketch holds no packets at all.
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+            && self.idsums.iter().all(|&s| s == 0)
+            && self.fpsums.iter().all(|&s| s == 0)
+    }
+
+    /// Resets every bucket to zero, keeping the configuration (epoch
+    /// rotation re-uses the physical sketch, §B).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.idsums.fill(0);
+        self.fpsums.fill(0);
+    }
+
+    #[inline]
+    fn bucket_index(&self, array: usize, slot: usize) -> usize {
+        array * self.cfg.buckets_per_array + slot
+    }
+
+    #[inline]
+    fn fingerprint_of(&self, key: u64) -> u64 {
+        debug_assert!(self.cfg.fingerprint_bits > 0);
+        self.fp_hash.raw(key) & ((1u64 << self.cfg.fingerprint_bits) - 1)
+    }
+
+    /// Encodes one packet of flow `f` (Algorithm 1).
+    #[inline]
+    pub fn insert(&mut self, f: &F) {
+        self.insert_weighted(f, 1);
+    }
+
+    /// Encodes `weight` packets of flow `f` in one pass. Negative weights
+    /// delete (used when the controller re-inserts decoded HH flows into the
+    /// upstream HL encoder before subtraction, §4.2, and for tests).
+    pub fn insert_weighted(&mut self, f: &F, weight: i64) {
+        assert!(
+            self.cfg.buckets_per_array > 0,
+            "insert into a zero-memory FermatSketch partition"
+        );
+        if weight == 0 {
+            return;
+        }
+        let key = f.key64();
+        let wmod = signed_to_mod(weight);
+        for i in 0..self.cfg.arrays {
+            let j = self.hashes.index(i, key, self.cfg.buckets_per_array);
+            let b = self.bucket_index(i, j);
+            self.counts[b] += weight;
+            for k in 0..F::FRAGMENTS {
+                let lane = b * F::FRAGMENTS + k;
+                let add = mul_mod(wmod, f.fragment(k));
+                self.idsums[lane] = add_mod(self.idsums[lane], add);
+            }
+            if self.cfg.fingerprint_bits > 0 {
+                let add = mul_mod(wmod, self.fingerprint_of(key));
+                self.fpsums[b] = add_mod(self.fpsums[b], add);
+            }
+        }
+    }
+
+    /// Adds `other` bucket-wise (`self += other`). Panics on incompatible
+    /// configurations, mirroring the paper's same-parameter requirement.
+    pub fn add_assign_sketch(&mut self, other: &Self) {
+        assert!(self.compatible(other), "adding incompatible FermatSketches");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.idsums.iter_mut().zip(&other.idsums) {
+            *a = add_mod(*a, *b);
+        }
+        for (a, b) in self.fpsums.iter_mut().zip(&other.fpsums) {
+            *a = add_mod(*a, *b);
+        }
+    }
+
+    /// Subtracts `other` bucket-wise (`self -= other`). The result encodes
+    /// the multiset difference; decoding it yields exactly the victim flows
+    /// when `self` is the cumulative upstream and `other` the cumulative
+    /// downstream encoder (§3.1 "Packet loss detection").
+    pub fn sub_assign_sketch(&mut self, other: &Self) {
+        assert!(self.compatible(other), "subtracting incompatible FermatSketches");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a -= b;
+        }
+        for (a, b) in self.idsums.iter_mut().zip(&other.idsums) {
+            *a = sub_mod(*a, *b);
+        }
+        for (a, b) in self.fpsums.iter_mut().zip(&other.fpsums) {
+            *a = sub_mod(*a, *b);
+        }
+    }
+
+    /// Number of non-zero buckets in array `i` (for linear counting).
+    pub fn nonzero_in_array(&self, i: usize) -> usize {
+        let m = self.cfg.buckets_per_array;
+        (0..m)
+            .filter(|&j| {
+                let b = self.bucket_index(i, j);
+                self.counts[b] != 0
+                    || (0..F::FRAGMENTS).any(|k| self.idsums[b * F::FRAGMENTS + k] != 0)
+            })
+            .count()
+    }
+
+    /// Linear-counting estimate of the number of distinct flows encoded,
+    /// from the zero-bucket fraction of array `i`: `n̂ = −m·ln(V₀)` (§4.3,
+    /// the fallback when decoding fails).
+    pub fn linear_count(&self, i: usize) -> f64 {
+        let m = self.cfg.buckets_per_array;
+        if m == 0 {
+            return 0.0;
+        }
+        let zero = m - self.nonzero_in_array(i);
+        if zero == 0 {
+            // Saturated array: linear counting diverges. Apply the standard
+            // half-count continuity correction (V₀ = 0.5/m), yielding
+            // m·ln(2m) — a deliberately *large* estimate so the controller
+            // treats a saturated encoder as badly overloaded.
+            return m as f64 * (2.0 * m as f64).ln();
+        }
+        -(m as f64) * ((zero as f64) / (m as f64)).ln()
+    }
+
+    fn is_pure(&self, array: usize, slot: usize) -> Option<(F, i64)> {
+        let b = self.bucket_index(array, slot);
+        let count = self.counts[b];
+        let cmod = signed_to_mod(count);
+        if cmod == 0 {
+            return None;
+        }
+        let inv = inv_mod(cmod)?;
+        let mut frags = [0u64; MAX_FRAGMENTS];
+        for (k, frag) in frags.iter_mut().enumerate().take(F::FRAGMENTS) {
+            *frag = mul_mod(self.idsums[b * F::FRAGMENTS + k], inv);
+        }
+        let f = F::try_from_fragments(&frags[..F::FRAGMENTS])?;
+        let key = f.key64();
+        // Rehashing verification (§3.1): the candidate flow must map back to
+        // this very bucket under this array's hash function.
+        if self.hashes.index(array, key, self.cfg.buckets_per_array) != slot {
+            return None;
+        }
+        // Fingerprint verification (§A.4).
+        if self.cfg.fingerprint_bits > 0 {
+            let expect = mul_mod(cmod, self.fingerprint_of(key));
+            if self.fpsums[b] != expect {
+                return None;
+            }
+        }
+        Some((f, count))
+    }
+
+    /// Removes `count` packets of flow `f` from every mapped bucket
+    /// (single-flow extraction, §3.1).
+    fn extract(&mut self, f: &F, count: i64) {
+        let key = f.key64();
+        let cmod = signed_to_mod(count);
+        for i in 0..self.cfg.arrays {
+            let j = self.hashes.index(i, key, self.cfg.buckets_per_array);
+            let b = self.bucket_index(i, j);
+            self.counts[b] -= count;
+            for k in 0..F::FRAGMENTS {
+                let lane = b * F::FRAGMENTS + k;
+                let sub = mul_mod(cmod, f.fragment(k));
+                self.idsums[lane] = sub_mod(self.idsums[lane], sub);
+            }
+            if self.cfg.fingerprint_bits > 0 {
+                let sub = mul_mod(cmod, self.fingerprint_of(key));
+                self.fpsums[b] = sub_mod(self.fpsums[b], sub);
+            }
+        }
+    }
+
+    /// Decodes the sketch non-destructively (clones the bucket state, then
+    /// runs [`decode_in_place`](Self::decode_in_place) on the clone).
+    pub fn decode(&self) -> DecodeResult<F> {
+        self.clone().decode_in_place()
+    }
+
+    /// Decoding operation (Algorithm 2): repeatedly verify + peel pure
+    /// buckets via a work queue until no progress remains. Consumes the
+    /// bucket contents.
+    ///
+    /// A work budget bounds the peeling: on overloaded sketches,
+    /// false-positive extractions can otherwise cycle forever (a wrongly
+    /// extracted flow re-creates the bucket state that triggers its own
+    /// cancellation, §A.2). Exhausting the budget leaves non-zero buckets,
+    /// which correctly reports decode failure.
+    pub fn decode_in_place(mut self) -> DecodeResult<F> {
+        let m = self.cfg.buckets_per_array;
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        // Step 1: push all non-zero buckets.
+        for i in 0..self.cfg.arrays {
+            for j in 0..m {
+                if self.counts[self.bucket_index(i, j)] != 0 {
+                    queue.push_back((i, j));
+                }
+            }
+        }
+        let mut budget: u64 = 32 * (self.cfg.total_buckets() as u64 + 64);
+        let mut flows: HashMap<F, i64> = HashMap::new();
+        while let Some((i, j)) = queue.pop_front() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let b = self.bucket_index(i, j);
+            if self.counts[b] == 0
+                && (0..F::FRAGMENTS).all(|k| self.idsums[b * F::FRAGMENTS + k] == 0)
+            {
+                continue; // already drained by an earlier extraction
+            }
+            // Steps 3-4: pure-bucket verification + single-flow extraction.
+            let Some((f, count)) = self.is_pure(i, j) else {
+                continue;
+            };
+            self.extract(&f, count);
+            // Step 5: record in the Flowset.
+            *flows.entry(f).or_insert(0) += count;
+            // Step 6: requeue the other mapped buckets that are still hot.
+            let key = f.key64();
+            for i2 in 0..self.cfg.arrays {
+                let j2 = self.hashes.index(i2, key, m);
+                let b2 = self.bucket_index(i2, j2);
+                if self.counts[b2] != 0
+                    || (0..F::FRAGMENTS).any(|k| self.idsums[b2 * F::FRAGMENTS + k] != 0)
+                {
+                    queue.push_back((i2, j2));
+                }
+            }
+        }
+        // False-positive extraction pairs cancel to zero (§A.2); drop them.
+        flows.retain(|_, c| *c != 0);
+        let remaining = (0..self.cfg.arrays)
+            .map(|i| self.nonzero_in_array(i))
+            .sum::<usize>();
+        DecodeResult {
+            flows,
+            success: remaining == 0,
+            remaining_nonzero: remaining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chm_common::flowid::FiveTuple;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cfg(m: usize) -> FermatConfig {
+        FermatConfig::standard(m, 0xc0ffee)
+    }
+
+    #[test]
+    fn empty_sketch_decodes_to_empty() {
+        let s = FermatSketch::<u32>::new(cfg(16));
+        let r = s.decode();
+        assert!(r.success);
+        assert!(r.flows.is_empty());
+    }
+
+    #[test]
+    fn single_flow_roundtrip() {
+        let mut s = FermatSketch::<u32>::new(cfg(16));
+        for _ in 0..7 {
+            s.insert(&0xdead_beef);
+        }
+        let r = s.decode();
+        assert!(r.success);
+        assert_eq!(r.flows.get(&0xdead_beef), Some(&7));
+        assert_eq!(r.flows.len(), 1);
+    }
+
+    #[test]
+    fn five_tuple_roundtrip() {
+        let mut s = FermatSketch::<FiveTuple>::new(cfg(64));
+        let f1 = FiveTuple { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, proto: 17 };
+        let f2 = FiveTuple { src_ip: 9, dst_ip: 8, src_port: 7, dst_port: 6, proto: 6 };
+        s.insert_weighted(&f1, 100);
+        s.insert_weighted(&f2, 3);
+        let r = s.decode();
+        assert!(r.success);
+        assert_eq!(r.flows.get(&f1), Some(&100));
+        assert_eq!(r.flows.get(&f2), Some(&3));
+    }
+
+    #[test]
+    fn many_flows_decode_at_target_load() {
+        // 700 flows into 3×400 = 1200 buckets: 58% load, well under the
+        // 81.3% ceiling — should decode.
+        let mut s = FermatSketch::<u32>::new(cfg(400));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut truth = HashMap::new();
+        for _ in 0..700 {
+            let f: u32 = rng.gen();
+            let w = rng.gen_range(1..50);
+            *truth.entry(f).or_insert(0) += w;
+            s.insert_weighted(&f, w);
+        }
+        let r = s.decode();
+        assert!(r.success, "remaining={}", r.remaining_nonzero);
+        assert_eq!(r.flows, truth);
+    }
+
+    #[test]
+    fn overloaded_sketch_reports_failure() {
+        // 4000 flows into 3×400 buckets: load 333% — cannot decode fully.
+        let mut s = FermatSketch::<u32>::new(cfg(400));
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..4000 {
+            s.insert(&rng.gen());
+        }
+        let r = s.decode();
+        assert!(!r.success);
+        assert!(r.remaining_nonzero > 0);
+    }
+
+    #[test]
+    fn subtraction_yields_victim_flows() {
+        // Upstream sees all packets, downstream misses some: the delta
+        // decodes exactly the victim flows with their lost-packet counts.
+        let c = cfg(256);
+        let mut up = FermatSketch::<u32>::new(c);
+        let mut down = FermatSketch::<u32>::new(c);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lost: HashMap<u32, i64> = HashMap::new();
+        for fid in 0..1000u32 {
+            let pkts = rng.gen_range(1..20);
+            let dropped = if fid % 10 == 0 { rng.gen_range(1..=pkts.min(5)) } else { 0 };
+            up.insert_weighted(&fid, pkts);
+            down.insert_weighted(&fid, pkts - dropped);
+            if dropped > 0 {
+                lost.insert(fid, dropped);
+            }
+        }
+        up.sub_assign_sketch(&down);
+        let r = up.decode();
+        assert!(r.success);
+        assert_eq!(r.flows, lost);
+    }
+
+    #[test]
+    fn addition_merges_switch_views() {
+        let c = cfg(128);
+        let mut a = FermatSketch::<u32>::new(c);
+        let mut b = FermatSketch::<u32>::new(c);
+        a.insert_weighted(&1, 5);
+        b.insert_weighted(&1, 7);
+        b.insert_weighted(&2, 2);
+        a.add_assign_sketch(&b);
+        let r = a.decode();
+        assert!(r.success);
+        assert_eq!(r.flows.get(&1), Some(&12));
+        assert_eq!(r.flows.get(&2), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn add_incompatible_panics() {
+        let mut a = FermatSketch::<u32>::new(cfg(128));
+        let b = FermatSketch::<u32>::new(cfg(64));
+        a.add_assign_sketch(&b);
+    }
+
+    #[test]
+    fn negative_weight_cancels_insert() {
+        let mut s = FermatSketch::<u32>::new(cfg(32));
+        s.insert_weighted(&42, 9);
+        s.insert_weighted(&42, -9);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn clear_resets_all_state() {
+        let mut s = FermatSketch::<u32>::new(cfg(32));
+        s.insert_weighted(&42, 9);
+        assert!(!s.is_zero());
+        s.clear();
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn fingerprint_config_roundtrip() {
+        let mut c = cfg(64);
+        c.fingerprint_bits = 8;
+        let mut s = FermatSketch::<u32>::new(c);
+        for fid in 0..30u32 {
+            s.insert_weighted(&fid, (fid as i64 % 5) + 1);
+        }
+        let r = s.decode();
+        assert!(r.success);
+        assert_eq!(r.flows.len(), 30);
+    }
+
+    #[test]
+    fn linear_count_tracks_flow_count() {
+        let mut s = FermatSketch::<u32>::new(cfg(1000));
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..300 {
+            s.insert(&rng.gen());
+        }
+        for i in 0..3 {
+            let est = s.linear_count(i);
+            assert!((est - 300.0).abs() < 60.0, "array {i} estimate {est}");
+        }
+    }
+
+    #[test]
+    fn zero_memory_partition_is_inert() {
+        let s = FermatSketch::<u32>::new(cfg(0));
+        assert!(s.is_zero());
+        let r = s.decode();
+        assert!(r.success);
+        assert_eq!(s.linear_count(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-memory")]
+    fn zero_memory_insert_panics() {
+        let mut s = FermatSketch::<u32>::new(cfg(0));
+        s.insert(&1);
+    }
+
+    #[test]
+    fn logical_memory_matches_paper_accounting() {
+        // 32-bit count + 32-bit ID = 8 bytes per bucket for u32 flow IDs.
+        let c = cfg(100);
+        assert_eq!(c.logical_bucket_bytes::<u32>(), 8.0);
+        assert_eq!(c.logical_memory_bytes::<u32>(), 300.0 * 8.0);
+        let mut cf = c;
+        cf.fingerprint_bits = 8;
+        assert_eq!(cf.logical_bucket_bytes::<u32>(), 9.0);
+    }
+
+    #[test]
+    fn buckets_for_load_factor() {
+        // 700 flows at 70% load over 3 arrays = 1000 buckets total.
+        assert_eq!(FermatConfig::buckets_for(700, 3, 0.7), 334);
+        assert_eq!(FermatConfig::buckets_for(0, 3, 0.7), 1);
+    }
+
+    #[test]
+    fn decode_is_nondestructive() {
+        let mut s = FermatSketch::<u32>::new(cfg(32));
+        s.insert_weighted(&5, 4);
+        let r1 = s.decode();
+        let r2 = s.decode();
+        assert_eq!(r1.flows, r2.flows);
+        assert!(!s.is_zero());
+    }
+
+    #[test]
+    fn high_load_failure_rate_matches_threshold() {
+        // Just above the 1/1.23 = 81.3% load threshold decoding should
+        // mostly fail; comfortably below it should mostly succeed.
+        let trials = 30;
+        let mut below = 0;
+        let mut above = 0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(100 + t);
+            let flows = 1000usize;
+            // 1.30 buckets/flow: below the load threshold.
+            let mut s = FermatSketch::<u32>::new(FermatConfig::standard(
+                (flows as f64 * 1.30 / 3.0).ceil() as usize,
+                t,
+            ));
+            for _ in 0..flows {
+                s.insert(&rng.gen());
+            }
+            if s.decode().success {
+                below += 1;
+            }
+            // 1.10 buckets/flow: over the threshold.
+            let mut s = FermatSketch::<u32>::new(FermatConfig::standard(
+                (flows as f64 * 1.10 / 3.0).ceil() as usize,
+                t,
+            ));
+            for _ in 0..flows {
+                s.insert(&rng.gen());
+            }
+            if s.decode().success {
+                above += 1;
+            }
+        }
+        assert!(below >= trials - 2, "below-threshold successes: {below}/{trials}");
+        assert!(above <= 2, "above-threshold successes: {above}/{trials}");
+    }
+}

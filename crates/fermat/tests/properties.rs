@@ -1,0 +1,137 @@
+//! Property-based tests of FermatSketch invariants beyond the unit suite:
+//! algebraic structure (commutativity of merging, insert/delete inversion),
+//! decode exactness under duplicates, and fingerprint-compatibility rules.
+
+use chm_fermat::{FermatConfig, FermatSketch};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn sum_sketch(cfg: FermatConfig, flows: &[(u32, i64)]) -> FermatSketch<u32> {
+    let mut s = FermatSketch::<u32>::new(cfg);
+    for &(f, w) in flows {
+        if w != 0 {
+            s.insert_weighted(&f, w);
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insertion order never affects the sketch state (observable through
+    /// decode results).
+    #[test]
+    fn insertion_order_irrelevant(
+        mut flows in vec((any::<u32>(), 1i64..100), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FermatConfig::standard(96, seed);
+        let a = sum_sketch(cfg, &flows);
+        flows.reverse();
+        let b = sum_sketch(cfg, &flows);
+        let ra = a.decode();
+        let rb = b.decode();
+        prop_assert_eq!(ra.flows, rb.flows);
+        prop_assert_eq!(ra.success, rb.success);
+    }
+
+    /// Merging two sketches then decoding equals decoding the concatenated
+    /// input (additivity, §3.1).
+    #[test]
+    fn merge_equals_concat(
+        fa in vec((any::<u32>(), 1i64..50), 0..40),
+        fb in vec((any::<u32>(), 1i64..50), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FermatConfig::standard(128, seed);
+        let mut merged = sum_sketch(cfg, &fa);
+        merged.add_assign_sketch(&sum_sketch(cfg, &fb));
+        let concat = sum_sketch(cfg, &[fa.clone(), fb.clone()].concat());
+        prop_assert_eq!(merged.decode().flows, concat.decode().flows);
+    }
+
+    /// Inserting then deleting every flow leaves a zero sketch.
+    #[test]
+    fn insert_delete_cancels(
+        flows in vec((any::<u32>(), 1i64..50), 0..50),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FermatConfig::standard(64, seed);
+        let mut s = FermatSketch::<u32>::new(cfg);
+        for &(f, w) in &flows {
+            s.insert_weighted(&f, w);
+        }
+        for &(f, w) in &flows {
+            s.insert_weighted(&f, -w);
+        }
+        prop_assert!(s.is_zero());
+        prop_assert!(s.decode().flows.is_empty());
+    }
+
+    /// Duplicate flow IDs in the input accumulate (multiset semantics).
+    #[test]
+    fn duplicates_accumulate(f in any::<u32>(), reps in 1usize..20, seed in any::<u64>()) {
+        let cfg = FermatConfig::standard(32, seed);
+        let mut s = FermatSketch::<u32>::new(cfg);
+        for _ in 0..reps {
+            s.insert(&f);
+        }
+        let r = s.decode();
+        prop_assert!(r.success);
+        prop_assert_eq!(r.flows.get(&f).copied(), Some(reps as i64));
+    }
+
+    /// Subtracting equals adding the negation.
+    #[test]
+    fn subtract_is_negated_add(
+        fa in vec((any::<u32>(), 1i64..20), 1..30),
+        fb in vec((any::<u32>(), 1i64..20), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FermatConfig::standard(128, seed);
+        let a = sum_sketch(cfg, &fa);
+        let b = sum_sketch(cfg, &fb);
+        let mut via_sub = a.clone();
+        via_sub.sub_assign_sketch(&b);
+        let neg: Vec<(u32, i64)> = fb.iter().map(|&(f, w)| (f, -w)).collect();
+        let mut via_neg = a.clone();
+        via_neg.add_assign_sketch(&sum_sketch(cfg, &neg));
+        prop_assert_eq!(via_sub.decode().flows, via_neg.decode().flows);
+    }
+
+    /// Decoded counts always sum to the inserted packet total when decoding
+    /// succeeds.
+    #[test]
+    fn decoded_mass_conserved(
+        flows in vec((any::<u32>(), 1i64..100), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let cfg = FermatConfig::standard(128, seed);
+        let s = sum_sketch(cfg, &flows);
+        let mut truth: HashMap<u32, i64> = HashMap::new();
+        for &(f, w) in &flows {
+            *truth.entry(f).or_insert(0) += w;
+        }
+        let inserted: i64 = truth.values().sum();
+        let r = s.decode();
+        if r.success {
+            let decoded: i64 = r.flows.values().sum();
+            prop_assert_eq!(decoded, inserted);
+        }
+    }
+
+    /// Fingerprinted and plain sketches are never compatible.
+    #[test]
+    fn fingerprint_breaks_compat(seed in any::<u64>(), m in 1usize..100) {
+        let plain = FermatSketch::<u32>::new(FermatConfig {
+            arrays: 3, buckets_per_array: m, fingerprint_bits: 0, seed,
+        });
+        let fp = FermatSketch::<u32>::new(FermatConfig {
+            arrays: 3, buckets_per_array: m, fingerprint_bits: 8, seed,
+        });
+        prop_assert!(!plain.compatible(&fp));
+        prop_assert!(plain.compatible(&plain.clone()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Epoch timekeeping and clock synchronization (Appendix B / D.2).
+//!
+//! Each edge switch keeps a **1-bit flipping timestamp** that divides its
+//! local timeline into fixed-length epochs; the central controller keeps its
+//! own and synchronizes switch clocks over NTP every 10 s, achieving
+//! 0.3–0.5 ms precision on the testbed. The controller may only collect a
+//! sketch group once it is sure no packet of that epoch can still be
+//! inserted — it waits `sync_error + max_transit` after its own flip, and
+//! must finish `sync_error` before the next flip.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-switch clock offsets relative to the controller.
+#[derive(Debug, Clone)]
+pub struct ClockModel {
+    /// Offset of each switch's clock from the controller's, in milliseconds
+    /// (positive = switch clock runs ahead).
+    pub offsets_ms: Vec<f64>,
+    /// Synchronization precision bound in milliseconds (NTP on the testbed:
+    /// 0.3–0.5 ms, §D.2).
+    pub sync_error_ms: f64,
+}
+
+impl ClockModel {
+    /// Draws per-switch offsets uniformly within ±`sync_error_ms`.
+    pub fn ntp(n_switches: usize, sync_error_ms: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ClockModel {
+            offsets_ms: (0..n_switches)
+                .map(|_| rng.gen_range(-sync_error_ms..=sync_error_ms))
+                .collect(),
+            sync_error_ms,
+        }
+    }
+
+    /// Perfectly synchronized clocks (for tests).
+    pub fn perfect(n_switches: usize) -> Self {
+        ClockModel { offsets_ms: vec![0.0; n_switches], sync_error_ms: 0.0 }
+    }
+
+    /// The switch's local time for a given controller time.
+    pub fn local_time_ms(&self, switch: usize, controller_time_ms: f64) -> f64 {
+        controller_time_ms + self.offsets_ms[switch]
+    }
+}
+
+/// The 1-bit epoch timestamp machinery of a clock (switch or controller).
+#[derive(Debug, Clone)]
+pub struct EpochClock {
+    /// Epoch length in milliseconds (testbed default: 50 ms).
+    pub epoch_ms: f64,
+}
+
+impl EpochClock {
+    /// Creates a clock with the given epoch length.
+    pub fn new(epoch_ms: f64) -> Self {
+        assert!(epoch_ms > 0.0);
+        EpochClock { epoch_ms }
+    }
+
+    /// Epoch index at local time `t_ms`.
+    pub fn epoch_index(&self, t_ms: f64) -> u64 {
+        (t_ms / self.epoch_ms).floor().max(0.0) as u64
+    }
+
+    /// The 1-bit flipping timestamp at local time `t_ms` (even epochs = 0,
+    /// odd epochs = 1 — which group of sketches is being written).
+    pub fn timestamp_bit(&self, t_ms: f64) -> u8 {
+        (self.epoch_index(t_ms) & 1) as u8
+    }
+
+    /// Time remaining until the next flip.
+    pub fn time_to_flip_ms(&self, t_ms: f64) -> f64 {
+        let next = (self.epoch_index(t_ms) + 1) as f64 * self.epoch_ms;
+        next - t_ms
+    }
+
+    /// Whether the controller can safely collect the previous epoch's
+    /// sketches at controller time `t_ms`, given the worst-case clock error
+    /// and the maximum packet transit time (Appendix B): collection must
+    /// start after `sync_error + transit` into the epoch and end
+    /// `sync_error + collection_duration` before the flip.
+    pub fn collection_window_ok(
+        &self,
+        t_ms: f64,
+        sync_error_ms: f64,
+        max_transit_ms: f64,
+        collection_duration_ms: f64,
+    ) -> bool {
+        let into_epoch = t_ms - self.epoch_index(t_ms) as f64 * self.epoch_ms;
+        let earliest = sync_error_ms + max_transit_ms;
+        let latest = self.epoch_ms - sync_error_ms - collection_duration_ms;
+        into_epoch >= earliest && into_epoch <= latest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_alternates_per_epoch() {
+        let c = EpochClock::new(50.0);
+        assert_eq!(c.timestamp_bit(0.0), 0);
+        assert_eq!(c.timestamp_bit(49.9), 0);
+        assert_eq!(c.timestamp_bit(50.0), 1);
+        assert_eq!(c.timestamp_bit(99.9), 1);
+        assert_eq!(c.timestamp_bit(100.0), 0);
+    }
+
+    #[test]
+    fn epoch_index_counts() {
+        let c = EpochClock::new(50.0);
+        assert_eq!(c.epoch_index(0.0), 0);
+        assert_eq!(c.epoch_index(125.0), 2);
+    }
+
+    #[test]
+    fn time_to_flip() {
+        let c = EpochClock::new(50.0);
+        assert!((c.time_to_flip_ms(10.0) - 40.0).abs() < 1e-9);
+        assert!((c.time_to_flip_ms(50.0) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collection_window_respects_guards() {
+        let c = EpochClock::new(50.0);
+        // §D.2: 1ms sync sleep + 6.88ms transit wait; collection ~3.45ms.
+        let sync = 0.5;
+        let transit = 10.0;
+        let dur = 3.45;
+        assert!(!c.collection_window_ok(5.0, sync, transit, dur)); // too early
+        assert!(c.collection_window_ok(15.0, sync, transit, dur));
+        assert!(c.collection_window_ok(40.0, sync, transit, dur));
+        assert!(!c.collection_window_ok(48.0, sync, transit, dur)); // too late
+    }
+
+    #[test]
+    fn ntp_offsets_bounded() {
+        let m = ClockModel::ntp(10, 0.5, 7);
+        assert_eq!(m.offsets_ms.len(), 10);
+        for &o in &m.offsets_ms {
+            assert!(o.abs() <= 0.5);
+        }
+        assert_eq!(m.local_time_ms(0, 100.0), 100.0 + m.offsets_ms[0]);
+    }
+
+    #[test]
+    fn perfect_clock_has_no_offsets() {
+        let m = ClockModel::perfect(4);
+        assert!(m.offsets_ms.iter().all(|&o| o == 0.0));
+    }
+}

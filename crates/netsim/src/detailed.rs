@@ -1,0 +1,188 @@
+//! Detailed per-packet simulation: routes every packet hop-by-hop through
+//! the fat-tree, drops it at a specific switch (as the testbed's
+//! ECN-marked proactive drops do, §5.2), and attributes losses per link —
+//! the visibility a LossRadar-style per-link deployment would give, and a
+//! harder exercise of the topology substrate than the flow-level loop in
+//! [`crate::sim`].
+
+use crate::topology::{FatTree, SwitchId};
+use chm_common::hash::mix64;
+use chm_workloads::{LossPlan, Trace};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Where a packet died.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DropPoint {
+    /// The switch that dropped the packet.
+    pub switch: SwitchId,
+    /// Hop index along the route (0 = ingress edge).
+    pub hop: usize,
+}
+
+/// Per-switch and per-flow accounting of one detailed run.
+#[derive(Debug, Clone)]
+pub struct DetailedReport<F> {
+    /// Packets forwarded by each switch (counted once per traversal).
+    pub forwarded: HashMap<SwitchId, u64>,
+    /// Packets dropped, attributed to the switch that dropped them.
+    pub dropped_at: HashMap<SwitchId, u64>,
+    /// Per-flow delivered counts.
+    pub delivered: HashMap<F, u64>,
+    /// Per-flow lost counts with their drop points.
+    pub lost: HashMap<F, Vec<DropPoint>>,
+    /// Distribution of route lengths (hops → packets).
+    pub hops_histogram: HashMap<usize, u64>,
+}
+
+impl<F: Copy + Eq + Hash> DetailedReport<F> {
+    /// Total packets dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped_at.values().sum()
+    }
+
+    /// Total packets delivered.
+    pub fn total_delivered(&self) -> u64 {
+        self.delivered.values().sum()
+    }
+}
+
+/// Runs a detailed per-packet replay of `trace` over `topology`.
+///
+/// For a victim flow, the realized number of lost packets follows the plan
+/// (at least one per victim), and each lost packet picks its drop switch
+/// deterministically from the flow's route — never the ingress edge's
+/// ingress pipeline (the upstream encoder has already seen the packet) and,
+/// for multi-hop routes, never after the egress pipeline.
+pub fn run_detailed<F>(
+    topology: &FatTree,
+    trace: &Trace<F>,
+    plan: &LossPlan<F>,
+    src_dst: impl Fn(&F) -> (usize, usize),
+    seed: u64,
+) -> DetailedReport<F>
+where
+    F: Copy + Eq + Hash + Ord + chm_common::FlowId,
+{
+    let (_, lost_counts) = plan.apply_to_trace(trace, seed);
+    let mut report = DetailedReport {
+        forwarded: HashMap::new(),
+        dropped_at: HashMap::new(),
+        delivered: HashMap::new(),
+        lost: HashMap::new(),
+        hops_histogram: HashMap::new(),
+    };
+    for &(f, pkts) in &trace.flows {
+        let (src, dst) = src_dst(&f);
+        let route = topology.route(src, dst, f.key64());
+        let n_lost = lost_counts.get(&f).copied().unwrap_or(0);
+        for i in 0..pkts {
+            *report.hops_histogram.entry(route.len()).or_insert(0) += 1;
+            let drop_here = if crate::sim::spread_drop(i, pkts, n_lost) {
+                // Choose a drop hop: any switch on the route (the single-
+                // switch case drops between its ingress and egress
+                // pipelines, which is still "at" that switch).
+                let h = (mix64(seed ^ f.key64() ^ i) as usize) % route.len();
+                Some(h)
+            } else {
+                None
+            };
+            match drop_here {
+                Some(h) => {
+                    // Switches before the drop forwarded the packet.
+                    for s in &route[..h] {
+                        *report.forwarded.entry(*s).or_insert(0) += 1;
+                    }
+                    *report.dropped_at.entry(route[h]).or_insert(0) += 1;
+                    report
+                        .lost
+                        .entry(f)
+                        .or_default()
+                        .push(DropPoint { switch: route[h], hop: h });
+                }
+                None => {
+                    for s in &route {
+                        *report.forwarded.entry(*s).or_insert(0) += 1;
+                    }
+                    *report.delivered.entry(f).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::SwitchRole;
+    use chm_common::FlowId as _;
+    use chm_workloads::trace::ip_host;
+    use chm_workloads::{testbed_trace, VictimSelection, WorkloadKind};
+
+    fn endpoints(f: &chm_common::FiveTuple) -> (usize, usize) {
+        (ip_host(f.src_ip) as usize, ip_host(f.dst_ip) as usize)
+    }
+
+    #[test]
+    fn conservation_of_packets() {
+        let topo = FatTree::testbed();
+        let trace = testbed_trace(WorkloadKind::Dctcp, 500, 8, 1);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.1), 0.05, 2);
+        let r = run_detailed(&topo, &trace, &plan, endpoints, 3);
+        let total: u64 = trace.flows.iter().map(|&(_, s)| s).sum();
+        assert_eq!(r.total_delivered() + r.total_dropped(), total);
+    }
+
+    #[test]
+    fn lossless_run_has_no_drop_points() {
+        let topo = FatTree::testbed();
+        let trace = testbed_trace(WorkloadKind::Cache, 300, 8, 4);
+        let r = run_detailed(&topo, &trace, &LossPlan::none(), endpoints, 5);
+        assert_eq!(r.total_dropped(), 0);
+        assert!(r.lost.is_empty());
+    }
+
+    #[test]
+    fn drop_points_lie_on_the_flow_route() {
+        let topo = FatTree::testbed();
+        let trace = testbed_trace(WorkloadKind::Vl2, 400, 8, 6);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.2), 0.1, 7);
+        let r = run_detailed(&topo, &trace, &plan, endpoints, 8);
+        for (f, points) in &r.lost {
+            let (s, d) = endpoints(f);
+            let route = topo.route(s, d, f.key64());
+            for p in points {
+                assert!(p.hop < route.len());
+                assert_eq!(route[p.hop], p.switch);
+            }
+        }
+    }
+
+    #[test]
+    fn hop_histogram_shapes() {
+        let topo = FatTree::testbed();
+        let trace = testbed_trace(WorkloadKind::Hadoop, 2_000, 8, 9);
+        let r = run_detailed(&topo, &trace, &LossPlan::none(), endpoints, 10);
+        // Possible route lengths in the 2-pod fat-tree: 1 (same rack),
+        // 3 (same pod), 5 (cross-pod).
+        for &h in r.hops_histogram.keys() {
+            assert!(matches!(h, 1 | 3 | 5), "unexpected hop count {h}");
+        }
+        // Cross-pod is the most common with uniform host selection.
+        assert!(r.hops_histogram[&5] > r.hops_histogram[&1]);
+    }
+
+    #[test]
+    fn per_switch_drops_cover_all_roles_eventually() {
+        let topo = FatTree::testbed();
+        let trace = testbed_trace(WorkloadKind::Dctcp, 2_000, 8, 11);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.5), 0.2, 12);
+        let r = run_detailed(&topo, &trace, &plan, endpoints, 13);
+        let roles: std::collections::HashSet<SwitchRole> =
+            r.dropped_at.keys().map(|s| s.role).collect();
+        assert!(roles.contains(&SwitchRole::Edge));
+        assert!(roles.contains(&SwitchRole::Aggregation));
+        assert!(roles.contains(&SwitchRole::Core));
+    }
+}

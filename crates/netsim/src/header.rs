@@ -1,0 +1,125 @@
+//! In-band carriage of measurement state in the packet header (§3.2.3, §B).
+//!
+//! A packet's flow hierarchy (2 bits) and the 1-bit ingress epoch timestamp
+//! must travel from the ingress edge to the egress edge. The paper uses
+//! three unused bits of the IPv4 ToS field ("for IPv4 protocol, we can use
+//! the unused bits in the type of service (ToS) field"; the prototype
+//! "carried by recording them in three bits of the ToS field", §D.1), with
+//! an INT-like shim as the fallback when no header bits are free.
+//!
+//! This module implements both encodings over a simulated header so the
+//! data-plane contract is explicit and testable.
+
+/// The measurement state carried by each packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CarriedState {
+    /// 2-bit flow hierarchy tag (see `chamelemon::dataplane::Hierarchy`).
+    pub hierarchy: u8,
+    /// 1-bit ingress epoch timestamp (Appendix B: the packet is inserted
+    /// into the downstream group matching the timestamp it obtained when it
+    /// *entered* the network).
+    pub ts_bit: u8,
+}
+
+/// Bit layout inside the ToS byte: bits 0-1 hierarchy, bit 2 timestamp.
+/// (Bits 3-7 are left untouched for DSCP/ECN compatibility in the higher
+/// nibble — the testbed repurposes ECN separately to mark proactive drops.)
+const HIER_MASK: u8 = 0b0000_0011;
+const TS_BIT: u8 = 0b0000_0100;
+
+/// Encodes the carried state into a ToS byte, preserving unrelated bits.
+pub fn encode_tos(tos: u8, st: CarriedState) -> u8 {
+    assert!(st.hierarchy <= 3, "hierarchy is 2 bits");
+    assert!(st.ts_bit <= 1, "timestamp is 1 bit");
+    (tos & !(HIER_MASK | TS_BIT)) | (st.hierarchy & HIER_MASK) | (st.ts_bit << 2)
+}
+
+/// Decodes the carried state from a ToS byte.
+pub fn decode_tos(tos: u8) -> CarriedState {
+    CarriedState {
+        hierarchy: tos & HIER_MASK,
+        ts_bit: (tos & TS_BIT) >> 2,
+    }
+}
+
+/// The INT-like fallback (§3.2.3: "we can transmit the flow hierarchy in an
+/// INT-like manner"): a 1-byte shim prepended to the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntShim(pub u8);
+
+impl IntShim {
+    /// Magic high nibble distinguishing the shim from payload bytes.
+    pub const MAGIC: u8 = 0xC0;
+
+    /// Builds a shim carrying `st`.
+    pub fn encode(st: CarriedState) -> Self {
+        IntShim(Self::MAGIC | (st.ts_bit << 2) | (st.hierarchy & HIER_MASK))
+    }
+
+    /// Parses a shim; `None` if the magic doesn't match (not a ChameleMon
+    /// packet).
+    pub fn decode(byte: u8) -> Option<CarriedState> {
+        if byte & 0xF0 != Self::MAGIC {
+            return None;
+        }
+        Some(CarriedState {
+            hierarchy: byte & HIER_MASK,
+            ts_bit: (byte >> 2) & 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tos_roundtrip_all_states() {
+        for h in 0..4u8 {
+            for ts in 0..2u8 {
+                let st = CarriedState { hierarchy: h, ts_bit: ts };
+                let tos = encode_tos(0, st);
+                assert_eq!(decode_tos(tos), st);
+            }
+        }
+    }
+
+    #[test]
+    fn tos_preserves_unrelated_bits() {
+        let st = CarriedState { hierarchy: 2, ts_bit: 1 };
+        // DSCP-ish bits set in the high nibble must survive.
+        let tos = encode_tos(0b1011_1000, st);
+        assert_eq!(tos & 0b1111_1000, 0b1011_1000);
+        assert_eq!(decode_tos(tos), st);
+    }
+
+    #[test]
+    fn tos_overwrites_stale_state() {
+        let old = encode_tos(0, CarriedState { hierarchy: 3, ts_bit: 1 });
+        let new = encode_tos(old, CarriedState { hierarchy: 0, ts_bit: 0 });
+        assert_eq!(decode_tos(new), CarriedState { hierarchy: 0, ts_bit: 0 });
+    }
+
+    #[test]
+    fn int_shim_roundtrip() {
+        for h in 0..4u8 {
+            for ts in 0..2u8 {
+                let st = CarriedState { hierarchy: h, ts_bit: ts };
+                assert_eq!(IntShim::decode(IntShim::encode(st).0), Some(st));
+            }
+        }
+    }
+
+    #[test]
+    fn int_shim_rejects_non_magic() {
+        assert_eq!(IntShim::decode(0x00), None);
+        assert_eq!(IntShim::decode(0x7F), None);
+        assert_eq!(IntShim::decode(0xB3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 bits")]
+    fn oversized_hierarchy_rejected() {
+        encode_tos(0, CarriedState { hierarchy: 4, ts_bit: 0 });
+    }
+}

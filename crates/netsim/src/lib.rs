@@ -1,0 +1,31 @@
+//! Network substrate: the software stand-in for the paper's testbed (§5.2)
+//! — a Fat-tree of 10 Tofino switches and 8 servers.
+//!
+//! The paper's experiments deliberately remove congestion (64-byte packets)
+//! and inject losses *proactively* (ECN-marked packets are dropped), so the
+//! fabric's only observable behaviours are (a) which edge switches a packet
+//! traverses and (b) whether it is dropped in between. This crate models
+//! exactly that:
+//!
+//! * [`topology`] — the fat-tree wiring (4 edge, 4 aggregation, 2 core
+//!   switches; 8 hosts), ECMP routing, and hop counting;
+//! * [`clock`] — per-switch clock offsets with NTP-grade precision and the
+//!   1-bit epoch timestamp logic of Appendix B;
+//! * [`collect`] — the collection cost model of Appendix D.2/F (per-sketch
+//!   collection times, per-epoch bandwidth);
+//! * [`sim`] — the packet loop: replays a trace through ingress hooks,
+//!   drop decisions, and egress hooks, epoch by epoch.
+
+pub mod clock;
+pub mod detailed;
+pub mod header;
+pub mod collect;
+pub mod sim;
+pub mod topology;
+
+pub use clock::{ClockModel, EpochClock};
+pub use detailed::{run_detailed, DetailedReport, DropPoint};
+pub use header::{decode_tos, encode_tos, CarriedState, IntShim};
+pub use collect::CollectionModel;
+pub use sim::{EdgeHooks, EpochReport, SimConfig, Simulator};
+pub use topology::{FatTree, SwitchId, SwitchRole};

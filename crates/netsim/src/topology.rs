@@ -1,0 +1,188 @@
+//! The testbed topology (§5.2): a Fat-tree of 10 Tofino switches —
+//! 4 ToR/edge, 4 aggregation, 2 core — interconnecting 8 servers (2 per
+//! edge switch), with ECMP routing between pods.
+//!
+//! Only edge switches run ChameleMon; the fabric's role in the evaluation is
+//! to connect edges and (proactively) drop marked packets. We still model
+//! the full wiring so paths, hop counts, and per-switch drop points are
+//! faithful.
+
+use chm_common::hash::mix64;
+
+/// Switch roles in the fat-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchRole {
+    /// Top-of-rack switch running the ChameleMon data plane.
+    Edge,
+    /// Pod aggregation switch.
+    Aggregation,
+    /// Core switch.
+    Core,
+}
+
+/// A switch identifier: role + index within the role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchId {
+    /// The role layer.
+    pub role: SwitchRole,
+    /// Index within the layer.
+    pub index: usize,
+}
+
+/// The 10-switch / 8-host fat-tree.
+///
+/// Layout (k=2 pods): pod `p ∈ {0,1}` contains edge switches `2p`, `2p+1`
+/// and aggregation switches `2p`, `2p+1`; both aggregation switches of a pod
+/// connect to both cores. Host `h` attaches to edge `h / hosts_per_edge`.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Number of edge switches (testbed: 4).
+    pub n_edge: usize,
+    /// Hosts attached to each edge switch (testbed: 2).
+    pub hosts_per_edge: usize,
+}
+
+impl FatTree {
+    /// The §5.2 testbed: 4 edge + 4 aggregation + 2 core switches, 8 hosts.
+    pub fn testbed() -> Self {
+        FatTree { n_edge: 4, hosts_per_edge: 2 }
+    }
+
+    /// Total number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.n_edge * self.hosts_per_edge
+    }
+
+    /// Total number of switches (edge + agg + core).
+    pub fn n_switches(&self) -> usize {
+        self.n_edge + self.n_edge + self.n_edge / 2
+    }
+
+    /// The edge switch serving `host`.
+    pub fn edge_of_host(&self, host: usize) -> usize {
+        assert!(host < self.n_hosts(), "host {host} out of range");
+        host / self.hosts_per_edge
+    }
+
+    /// The pod containing edge switch `edge`.
+    pub fn pod_of_edge(&self, edge: usize) -> usize {
+        edge / 2
+    }
+
+    /// The switch-level path from `src_host` to `dst_host`, ECMP-resolved
+    /// deterministically by `flow_key` (so a flow always takes one path, as
+    /// real ECMP hashes the 5-tuple).
+    pub fn route(&self, src_host: usize, dst_host: usize, flow_key: u64) -> Vec<SwitchId> {
+        let se = self.edge_of_host(src_host);
+        let de = self.edge_of_host(dst_host);
+        if se == de {
+            // Same rack: single hop through the shared ToR.
+            return vec![SwitchId { role: SwitchRole::Edge, index: se }];
+        }
+        let sp = self.pod_of_edge(se);
+        let dp = self.pod_of_edge(de);
+        let h = mix64(flow_key);
+        if sp == dp {
+            // Same pod: edge → (one of 2 aggs) → edge.
+            let agg = sp * 2 + (h as usize & 1);
+            vec![
+                SwitchId { role: SwitchRole::Edge, index: se },
+                SwitchId { role: SwitchRole::Aggregation, index: agg },
+                SwitchId { role: SwitchRole::Edge, index: de },
+            ]
+        } else {
+            // Cross-pod: edge → agg → core → agg → edge. The chosen core
+            // pins the aggregation switch in each pod (fat-tree wiring).
+            let core = (h as usize >> 1) % (self.n_edge / 2);
+            let up_agg = sp * 2 + core % 2;
+            let down_agg = dp * 2 + core % 2;
+            vec![
+                SwitchId { role: SwitchRole::Edge, index: se },
+                SwitchId { role: SwitchRole::Aggregation, index: up_agg },
+                SwitchId { role: SwitchRole::Core, index: core },
+                SwitchId { role: SwitchRole::Aggregation, index: down_agg },
+                SwitchId { role: SwitchRole::Edge, index: de },
+            ]
+        }
+    }
+
+    /// Hop count (switches traversed) between two hosts for a given flow.
+    pub fn hops(&self, src_host: usize, dst_host: usize, flow_key: u64) -> usize {
+        self.route(src_host, dst_host, flow_key).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_dimensions() {
+        let t = FatTree::testbed();
+        assert_eq!(t.n_hosts(), 8);
+        assert_eq!(t.n_switches(), 10); // 4 edge + 4 agg + 2 core
+    }
+
+    #[test]
+    fn host_to_edge_mapping() {
+        let t = FatTree::testbed();
+        assert_eq!(t.edge_of_host(0), 0);
+        assert_eq!(t.edge_of_host(1), 0);
+        assert_eq!(t.edge_of_host(2), 1);
+        assert_eq!(t.edge_of_host(7), 3);
+    }
+
+    #[test]
+    fn same_rack_route_is_one_switch() {
+        let t = FatTree::testbed();
+        let r = t.route(0, 1, 42);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], SwitchId { role: SwitchRole::Edge, index: 0 });
+    }
+
+    #[test]
+    fn same_pod_route_is_three_switches() {
+        let t = FatTree::testbed();
+        let r = t.route(0, 2, 42); // edge 0 -> edge 1, pod 0
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].role, SwitchRole::Edge);
+        assert_eq!(r[1].role, SwitchRole::Aggregation);
+        assert!(r[1].index < 2, "agg must be in pod 0");
+        assert_eq!(r[2], SwitchId { role: SwitchRole::Edge, index: 1 });
+    }
+
+    #[test]
+    fn cross_pod_route_is_five_switches() {
+        let t = FatTree::testbed();
+        let r = t.route(0, 7, 42); // edge 0 (pod 0) -> edge 3 (pod 1)
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[2].role, SwitchRole::Core);
+        assert_eq!(r[0], SwitchId { role: SwitchRole::Edge, index: 0 });
+        assert_eq!(r[4], SwitchId { role: SwitchRole::Edge, index: 3 });
+        // Up/down aggregation switches live in the right pods.
+        assert!(r[1].index < 2 && r[3].index >= 2);
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_flow() {
+        let t = FatTree::testbed();
+        assert_eq!(t.route(0, 7, 9), t.route(0, 7, 9));
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        let t = FatTree::testbed();
+        let mut cores_used = std::collections::HashSet::new();
+        for k in 0..64u64 {
+            let r = t.route(0, 7, k);
+            cores_used.insert(r[2].index);
+        }
+        assert_eq!(cores_used.len(), 2, "both cores should carry traffic");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_host_panics() {
+        FatTree::testbed().edge_of_host(8);
+    }
+}

@@ -1,0 +1,388 @@
+//! **TowerSketch** — ChameleMon's flow classifier (§3.2.1) — plus the
+//! estimation algorithms the control plane runs on top of it (§4.2):
+//! linear counting for cardinality, the MRAC EM algorithm for flow-size
+//! distribution, and entropy derived from the distribution.
+//!
+//! TowerSketch is a CM-style sketch whose `l` arrays trade counter width for
+//! counter count under a fixed bit budget (`w_i · δ_i` constant, with
+//! `δ_{i-1} < δ_i`): many narrow counters catch mouse flows cheaply while a
+//! few wide counters track elephants. A counter at its maximum value is
+//! *overflowed* and treated as `+∞`; queries return the minimum over the
+//! mapped counters.
+
+pub mod mrac;
+
+pub use mrac::{mrac_em, MracConfig};
+
+use chm_common::hash::HashFamily;
+
+/// Configuration of one counter level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TowerLevel {
+    /// Number of counters `w_i`.
+    pub width: usize,
+    /// Counter width `δ_i` in bits (1..=32).
+    pub bits: u32,
+}
+
+impl TowerLevel {
+    /// Saturation value `2^δ − 1`, representing `+∞` (§3.2.1).
+    pub fn saturation(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+}
+
+/// Configuration of a [`TowerSketch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TowerConfig {
+    /// Levels ordered by increasing counter width (`δ_{i-1} < δ_i`).
+    pub levels: Vec<TowerLevel>,
+    /// Master hash seed.
+    pub seed: u64,
+}
+
+impl TowerConfig {
+    /// The testbed configuration (§5.2): one 8-bit array of 32768 counters
+    /// and one 16-bit array of 16384 counters.
+    pub fn paper_default(seed: u64) -> Self {
+        TowerConfig {
+            levels: vec![
+                TowerLevel { width: 32_768, bits: 8 },
+                TowerLevel { width: 16_384, bits: 16 },
+            ],
+            seed,
+        }
+    }
+
+    /// A two-level configuration scaled to a memory budget in bytes, keeping
+    /// the paper's 8-bit/16-bit shape with the byte budget split evenly
+    /// between levels (so `w_1 = 2·w_2`, matching `w·δ` constant).
+    pub fn sized(total_bytes: usize, seed: u64) -> Self {
+        let half = total_bytes / 2;
+        TowerConfig {
+            levels: vec![
+                TowerLevel { width: half.max(2), bits: 8 },
+                TowerLevel { width: (half / 2).max(1), bits: 16 },
+            ],
+            seed,
+        }
+    }
+
+    /// Total memory in bytes (`Σ w_i · δ_i / 8`).
+    pub fn memory_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.width * l.bits as usize / 8)
+            .sum()
+    }
+}
+
+/// The TowerSketch data structure.
+#[derive(Debug, Clone)]
+pub struct TowerSketch {
+    cfg: TowerConfig,
+    hashes: HashFamily,
+    /// Counter storage per level (stored as u32; saturation per level).
+    counters: Vec<Vec<u32>>,
+}
+
+impl TowerSketch {
+    /// Creates an empty sketch.
+    pub fn new(cfg: TowerConfig) -> Self {
+        assert!(!cfg.levels.is_empty(), "TowerSketch needs at least one level");
+        for w in cfg.levels.windows(2) {
+            assert!(
+                w[0].bits < w[1].bits,
+                "levels must have strictly increasing counter widths"
+            );
+        }
+        assert!(
+            cfg.levels.iter().all(|l| l.bits >= 1 && l.bits <= 32 && l.width > 0),
+            "level widths must be in 1..=32 bits with non-zero counters"
+        );
+        let hashes = HashFamily::new(cfg.seed, cfg.levels.len());
+        let counters = cfg.levels.iter().map(|l| vec![0u32; l.width]).collect();
+        TowerSketch { cfg, hashes, counters }
+    }
+
+    /// The sketch configuration.
+    pub fn config(&self) -> &TowerConfig {
+        &self.cfg
+    }
+
+    /// Inserts one packet of the flow identified by `key` (a pre-mixed
+    /// 64-bit key, see [`chm_common::FlowId::key64`]) and returns the
+    /// *post-insertion* online query result — the data plane classifies the
+    /// packet's flow with this value (§3.2.1 "Packet processing").
+    pub fn insert_and_query(&mut self, key: u64) -> u64 {
+        let mut min = u64::MAX;
+        for (i, level) in self.cfg.levels.iter().enumerate() {
+            let j = self.hashes.index(i, key, level.width);
+            let sat = level.saturation() as u32;
+            let c = &mut self.counters[i][j];
+            if *c < sat {
+                *c += 1; // saturating add: never wraps past 2^δ − 1
+            }
+            let v = if *c >= sat { u64::MAX } else { *c as u64 };
+            min = min.min(v);
+        }
+        min
+    }
+
+    /// Online query: minimum over mapped counters, `u64::MAX` if all mapped
+    /// counters are overflowed.
+    pub fn query(&self, key: u64) -> u64 {
+        let mut min = u64::MAX;
+        for (i, level) in self.cfg.levels.iter().enumerate() {
+            let j = self.hashes.index(i, key, level.width);
+            let c = self.counters[i][j] as u64;
+            let v = if c >= level.saturation() { u64::MAX } else { c };
+            min = min.min(v);
+        }
+        min
+    }
+
+    /// Like [`query`](Self::query) but saturates to the largest level's
+    /// saturation value instead of `u64::MAX` (useful for size estimates).
+    pub fn query_clamped(&self, key: u64) -> u64 {
+        let q = self.query(key);
+        let max_sat = self.cfg.levels.last().unwrap().saturation();
+        q.min(max_sat)
+    }
+
+    /// Resets all counters (epoch rotation re-uses the physical arrays, §B).
+    pub fn clear(&mut self) {
+        for level in &mut self.counters {
+            level.fill(0);
+        }
+    }
+
+    /// Raw access to a level's counters (for MRAC / linear counting).
+    pub fn level_counters(&self, i: usize) -> &[u32] {
+        &self.counters[i]
+    }
+
+    /// Linear-counting cardinality estimate using the level with the most
+    /// counters (§4.2): `n̂ = −w·ln(V₀)`.
+    pub fn cardinality_estimate(&self) -> f64 {
+        let (i, level) = self
+            .cfg
+            .levels
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, l)| l.width)
+            .expect("at least one level");
+        let zero = self.counters[i].iter().filter(|&&c| c == 0).count();
+        if zero == 0 {
+            // Saturated: half-count continuity correction (V₀ = 0.5/w).
+            let w = level.width as f64;
+            return w * (2.0 * w).ln();
+        }
+        -(level.width as f64) * (zero as f64 / level.width as f64).ln()
+    }
+
+    /// Histogram of counter values for level `i` (`hist[v]` = #counters with
+    /// value `v`), input to MRAC.
+    pub fn level_histogram(&self, i: usize) -> Vec<f64> {
+        let sat = self.cfg.levels[i].saturation() as usize;
+        let mut hist = vec![0.0; sat + 1];
+        for &c in &self.counters[i] {
+            hist[(c as usize).min(sat)] += 1.0;
+        }
+        hist
+    }
+
+    /// Estimates the flow-size distribution (`out[s]` = #flows of size `s`)
+    /// by running MRAC EM on each level over its responsible size range
+    /// (§4.2): level `i` covers `[2^{δ_{i−1}} − 1, 2^{δ_i} − 1)` and the
+    /// remaining range `[2^{δ_l} − 1, ∞)` comes from the HH-flowset tail
+    /// sizes supplied by the caller.
+    pub fn flow_size_distribution(&self, hh_tail_sizes: &[u64], em: &MracConfig) -> Vec<f64> {
+        let top_sat = self.cfg.levels.last().unwrap().saturation() as usize;
+        let max_size = hh_tail_sizes
+            .iter()
+            .map(|&s| s as usize)
+            .max()
+            .unwrap_or(0)
+            .max(top_sat);
+        let mut dist = vec![0.0; max_size + 1];
+        let mut prev_bound = 1usize; // sizes below 1 don't exist
+        for (i, level) in self.cfg.levels.iter().enumerate() {
+            let hist = self.level_histogram(i);
+            let est = mrac_em(&hist, level.width, em);
+            let upper = level.saturation() as usize; // exclusive bound
+            for (s, v) in est.iter().enumerate().take(upper).skip(prev_bound) {
+                dist[s] += v;
+            }
+            prev_bound = upper;
+        }
+        // Tail from the HH flowset (flows ≥ top saturation).
+        for &s in hh_tail_sizes {
+            let s = s as usize;
+            if s >= prev_bound && s < dist.len() {
+                dist[s] += 1.0;
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small() -> TowerConfig {
+        TowerConfig {
+            levels: vec![
+                TowerLevel { width: 2048, bits: 8 },
+                TowerLevel { width: 1024, bits: 16 },
+            ],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn query_never_underestimates() {
+        let mut t = TowerSketch::new(small());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut truth = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            let k: u64 = rng.gen_range(0..500);
+            t.insert_and_query(k);
+            *truth.entry(k).or_insert(0u64) += 1;
+        }
+        for (k, v) in truth {
+            assert!(t.query(k) >= v, "flow {k}: query {} < true {v}", t.query(k));
+        }
+    }
+
+    #[test]
+    fn single_flow_exact() {
+        let mut t = TowerSketch::new(small());
+        for _ in 0..37 {
+            t.insert_and_query(99);
+        }
+        assert_eq!(t.query(99), 37);
+        assert_eq!(t.query_clamped(99), 37);
+    }
+
+    #[test]
+    fn insert_and_query_matches_query() {
+        let mut t = TowerSketch::new(small());
+        for i in 0..10 {
+            let r = t.insert_and_query(7);
+            assert_eq!(r, t.query(7));
+            assert_eq!(r, i + 1);
+        }
+    }
+
+    #[test]
+    fn saturation_is_infinity() {
+        let mut t = TowerSketch::new(TowerConfig {
+            levels: vec![TowerLevel { width: 4, bits: 2 }],
+            seed: 3,
+        });
+        // 2-bit counter saturates at 3 (treated as +∞).
+        for _ in 0..10 {
+            t.insert_and_query(1);
+        }
+        assert_eq!(t.query(1), u64::MAX);
+        assert_eq!(t.query_clamped(1), 3);
+    }
+
+    #[test]
+    fn eight_bit_level_saturates_but_sixteen_bit_continues() {
+        let mut t = TowerSketch::new(small());
+        for _ in 0..400 {
+            t.insert_and_query(5);
+        }
+        // 8-bit level is pinned at 255 (=∞); 16-bit level carries 400.
+        assert_eq!(t.query(5), 400);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = TowerSketch::new(small());
+        t.insert_and_query(1);
+        t.clear();
+        assert_eq!(t.query(1), 0);
+    }
+
+    #[test]
+    fn cardinality_estimate_close() {
+        let mut t = TowerSketch::new(small());
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 800u64;
+        for k in 0..n {
+            let reps = rng.gen_range(1..4);
+            for _ in 0..reps {
+                t.insert_and_query(k);
+            }
+        }
+        let est = t.cardinality_estimate();
+        let re = (est - n as f64).abs() / n as f64;
+        assert!(re < 0.1, "estimate {est} vs {n} (re {re:.3})");
+    }
+
+    #[test]
+    fn paper_default_memory() {
+        let cfg = TowerConfig::paper_default(0);
+        // 32768 * 1 byte + 16384 * 2 bytes = 64 KiB
+        assert_eq!(cfg.memory_bytes(), 65_536);
+    }
+
+    #[test]
+    fn sized_respects_budget_roughly() {
+        let cfg = TowerConfig::sized(40_000, 0);
+        let m = cfg.memory_bytes();
+        assert!((30_000..=40_000).contains(&m), "memory {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn non_increasing_widths_panic() {
+        TowerSketch::new(TowerConfig {
+            levels: vec![
+                TowerLevel { width: 16, bits: 16 },
+                TowerLevel { width: 16, bits: 8 },
+            ],
+            seed: 0,
+        });
+    }
+
+    #[test]
+    fn level_histogram_sums_to_width() {
+        let mut t = TowerSketch::new(small());
+        for k in 0..100 {
+            t.insert_and_query(k);
+        }
+        let h = t.level_histogram(0);
+        let total: f64 = h.iter().sum();
+        assert_eq!(total, 2048.0);
+    }
+
+    #[test]
+    fn distribution_estimate_shape() {
+        // 300 flows of size 1, 60 of size 5: estimator should put clearly
+        // more mass at 1 than at 5, with roughly correct totals.
+        let mut t = TowerSketch::new(small());
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let k: u64 = rng.gen();
+            t.insert_and_query(k);
+        }
+        for _ in 0..60 {
+            let k: u64 = rng.gen();
+            for _ in 0..5 {
+                t.insert_and_query(k);
+            }
+        }
+        let dist = t.flow_size_distribution(&[], &MracConfig::default());
+        assert!(dist[1] > 150.0, "size-1 mass {}", dist[1]);
+        assert!(dist[1] > dist[5], "size-1 {} vs size-5 {}", dist[1], dist[5]);
+        let total: f64 = dist.iter().sum();
+        assert!((total - 360.0).abs() / 360.0 < 0.35, "total {total}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of TowerSketch and the estimation algorithms.
+
+use chm_tower::{mrac_em, MracConfig, TowerConfig, TowerLevel, TowerSketch};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_tower(seed: u64) -> TowerSketch {
+    TowerSketch::new(TowerConfig {
+        levels: vec![
+            TowerLevel { width: 256, bits: 8 },
+            TowerLevel { width: 128, bits: 16 },
+        ],
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The classifier estimate is monotone in insertions and never
+    /// underestimates (below saturation).
+    #[test]
+    fn monotone_overestimate(stream in vec(0u64..100, 1..800), seed in any::<u64>()) {
+        let mut t = small_tower(seed);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for &k in &stream {
+            let q = t.insert_and_query(k);
+            *truth.entry(k).or_insert(0) += 1;
+            if let Some(&prev) = last.get(&k) {
+                prop_assert!(q >= prev, "estimate shrank");
+            }
+            last.insert(k, q);
+        }
+        for (&k, &v) in &truth {
+            prop_assert!(t.query(k) >= v);
+        }
+    }
+
+    /// Clearing restores the all-zero state exactly.
+    #[test]
+    fn clear_is_complete(stream in vec(any::<u64>(), 0..300), seed in any::<u64>()) {
+        let mut t = small_tower(seed);
+        for &k in &stream {
+            t.insert_and_query(k);
+        }
+        t.clear();
+        prop_assert!(t.level_counters(0).iter().all(|&c| c == 0));
+        prop_assert!(t.level_counters(1).iter().all(|&c| c == 0));
+        prop_assert_eq!(t.cardinality_estimate(), 0.0);
+    }
+
+    /// The level histogram always sums to the level width.
+    #[test]
+    fn histogram_mass(stream in vec(any::<u64>(), 0..500), seed in any::<u64>()) {
+        let mut t = small_tower(seed);
+        for &k in &stream {
+            t.insert_and_query(k);
+        }
+        for lvl in 0..2 {
+            let h = t.level_histogram(lvl);
+            let total: f64 = h.iter().sum();
+            prop_assert_eq!(total as usize, t.level_counters(lvl).len());
+        }
+    }
+
+    /// MRAC output is non-negative and roughly conserves flow mass at
+    /// moderate loads.
+    #[test]
+    fn mrac_nonnegative(flows in 1usize..400, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let m = 1024usize;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut counters = vec![0usize; m];
+        for _ in 0..flows {
+            counters[rng.gen_range(0..m)] += 1;
+        }
+        let vmax = counters.iter().copied().max().unwrap();
+        let mut hist = vec![0.0; vmax + 1];
+        for &c in &counters {
+            hist[c] += 1.0;
+        }
+        let est = mrac_em(&hist, m, &MracConfig::default());
+        prop_assert!(est.iter().all(|&x| x >= 0.0));
+        let total: f64 = est.iter().sum();
+        let re = (total - flows as f64).abs() / flows as f64;
+        prop_assert!(re < 0.25, "mass {total} vs {flows}");
+    }
+
+    /// Cardinality estimation error stays bounded at sub-50% load.
+    #[test]
+    fn cardinality_bounded_error(flows in 1u64..120, seed in any::<u64>()) {
+        let mut t = small_tower(seed);
+        for k in 0..flows {
+            t.insert_and_query(k);
+        }
+        let est = t.cardinality_estimate();
+        // Linear counting at this load: generous 35% + small absolute slack.
+        prop_assert!((est - flows as f64).abs() <= flows as f64 * 0.35 + 5.0,
+            "est {est} vs {flows}");
+    }
+}

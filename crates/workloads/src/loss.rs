@@ -1,0 +1,214 @@
+//! Loss plans: which flows are victims and at what loss rate.
+//!
+//! On the testbed the authors "let switches proactively drop packets whose
+//! ECN fields are set to 1 … we can flexibly specify any flow as a victim
+//! flow and control its packet loss rate" (§5.2). A [`LossPlan`] is the
+//! software analogue: a per-flow drop probability that the simulator (or a
+//! direct trace replay) consults for every packet.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::trace::Trace;
+
+/// How victim flows are chosen from a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VictimSelection {
+    /// The `n` largest flows (used by §5.1: "the largest 100 flows are
+    /// victim flows").
+    LargestN(usize),
+    /// A uniformly random fraction of all flows (used by the testbed
+    /// experiments: "fix the ratio of victim flows to 10%").
+    RandomRatio(f64),
+    /// A uniformly random count of flows.
+    RandomN(usize),
+}
+
+/// A per-flow loss plan.
+#[derive(Debug, Clone)]
+pub struct LossPlan<F> {
+    /// Victim flow → packet loss probability in `(0, 1]`.
+    pub victims: HashMap<F, f64>,
+}
+
+impl<F: Copy + Eq + Hash + Ord> LossPlan<F> {
+    /// No losses at all (healthy network).
+    pub fn none() -> Self {
+        LossPlan { victims: HashMap::new() }
+    }
+
+    /// Builds a plan by selecting victims from `trace` and assigning each
+    /// the same `loss_rate`.
+    pub fn build(
+        trace: &Trace<F>,
+        selection: VictimSelection,
+        loss_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&loss_rate), "loss rate out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victims: Vec<F> = match selection {
+            VictimSelection::LargestN(n) => {
+                trace.top_n(n).flows.iter().map(|&(f, _)| f).collect()
+            }
+            VictimSelection::RandomRatio(r) => {
+                assert!((0.0..=1.0).contains(&r), "ratio out of range");
+                let n = (trace.num_flows() as f64 * r).round() as usize;
+                let mut ids: Vec<F> = trace.flows.iter().map(|&(f, _)| f).collect();
+                ids.shuffle(&mut rng);
+                ids.truncate(n);
+                ids
+            }
+            VictimSelection::RandomN(n) => {
+                let mut ids: Vec<F> = trace.flows.iter().map(|&(f, _)| f).collect();
+                ids.shuffle(&mut rng);
+                ids.truncate(n);
+                ids
+            }
+        };
+        LossPlan {
+            victims: victims.into_iter().map(|f| (f, loss_rate)).collect(),
+        }
+    }
+
+    /// Number of victim flows in the plan.
+    pub fn num_victims(&self) -> usize {
+        self.victims.len()
+    }
+
+    /// Drop decision for a single packet of flow `f`.
+    pub fn should_drop<R: Rng + ?Sized>(&self, f: &F, rng: &mut R) -> bool {
+        match self.victims.get(f) {
+            Some(&p) => rng.gen_bool(p),
+            None => false,
+        }
+    }
+
+    /// Deterministically splits each victim flow's packets into
+    /// (delivered, lost), guaranteeing **at least one** lost packet per
+    /// victim (so every planned victim is a real victim, as on the testbed
+    /// where loss rates and flow sizes are chosen to make victims actual).
+    ///
+    /// Returns `(delivered_counts, lost_counts)` for the whole trace.
+    pub fn apply_to_trace(
+        &self,
+        trace: &Trace<F>,
+        seed: u64,
+    ) -> (HashMap<F, u64>, HashMap<F, u64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut delivered = HashMap::with_capacity(trace.num_flows());
+        let mut lost = HashMap::new();
+        for &(f, pkts) in &trace.flows {
+            match self.victims.get(&f) {
+                Some(&p) => {
+                    let mut dropped = 0u64;
+                    for _ in 0..pkts {
+                        if rng.gen_bool(p) {
+                            dropped += 1;
+                        }
+                    }
+                    if dropped == 0 {
+                        dropped = 1; // victims must lose at least one packet
+                    }
+                    if dropped > pkts {
+                        dropped = pkts;
+                    }
+                    delivered.insert(f, pkts - dropped);
+                    lost.insert(f, dropped);
+                }
+                None => {
+                    delivered.insert(f, pkts);
+                }
+            }
+        }
+        (delivered, lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::caida_like_trace;
+
+    #[test]
+    fn largest_n_selects_biggest() {
+        let t = caida_like_trace(1000, 1);
+        let plan = LossPlan::build(&t, VictimSelection::LargestN(10), 0.5, 2);
+        assert_eq!(plan.num_victims(), 10);
+        let top: std::collections::HashSet<u32> =
+            t.top_n(10).flows.iter().map(|&(f, _)| f).collect();
+        for f in plan.victims.keys() {
+            assert!(top.contains(f));
+        }
+    }
+
+    #[test]
+    fn random_ratio_count() {
+        let t = caida_like_trace(1000, 1);
+        let plan = LossPlan::build(&t, VictimSelection::RandomRatio(0.1), 0.01, 3);
+        assert_eq!(plan.num_victims(), 100);
+    }
+
+    #[test]
+    fn random_n_is_deterministic_per_seed() {
+        let t = caida_like_trace(500, 1);
+        let a = LossPlan::build(&t, VictimSelection::RandomN(50), 0.01, 7);
+        let b = LossPlan::build(&t, VictimSelection::RandomN(50), 0.01, 7);
+        assert_eq!(
+            a.victims.keys().collect::<std::collections::BTreeSet<_>>(),
+            b.victims.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn apply_guarantees_victim_losses() {
+        let t = caida_like_trace(1000, 4);
+        let plan = LossPlan::build(&t, VictimSelection::RandomRatio(0.1), 0.01, 5);
+        let (delivered, lost) = plan.apply_to_trace(&t, 6);
+        assert_eq!(lost.len(), plan.num_victims());
+        let sizes = t.size_map();
+        for (f, &l) in &lost {
+            assert!(l >= 1);
+            assert!(l <= sizes[f]);
+            assert_eq!(delivered[f] + l, sizes[f]);
+        }
+    }
+
+    #[test]
+    fn non_victims_deliver_everything() {
+        let t = caida_like_trace(200, 4);
+        let plan = LossPlan::build(&t, VictimSelection::LargestN(5), 0.5, 5);
+        let (delivered, lost) = plan.apply_to_trace(&t, 6);
+        let sizes = t.size_map();
+        for &(f, s) in &t.flows {
+            if !plan.victims.contains_key(&f) {
+                assert_eq!(delivered[&f], s);
+                assert!(!lost.contains_key(&f));
+            }
+        }
+        assert_eq!(delivered.len(), sizes.len());
+    }
+
+    #[test]
+    fn none_plan_drops_nothing() {
+        let plan: LossPlan<u32> = LossPlan::none();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(!plan.should_drop(&1, &mut rng));
+        assert_eq!(plan.num_victims(), 0);
+    }
+
+    #[test]
+    fn higher_loss_rate_loses_more() {
+        let t = caida_like_trace(2000, 8).top_n(100);
+        let low = LossPlan::build(&t, VictimSelection::LargestN(100), 0.05, 1);
+        let high = LossPlan::build(&t, VictimSelection::LargestN(100), 0.5, 1);
+        let (_, lost_low) = low.apply_to_trace(&t, 2);
+        let (_, lost_high) = high.apply_to_trace(&t, 2);
+        let sum_low: u64 = lost_low.values().sum();
+        let sum_high: u64 = lost_high.values().sum();
+        assert!(sum_high > sum_low * 3, "low {sum_low}, high {sum_high}");
+    }
+}

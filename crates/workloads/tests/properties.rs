@@ -1,0 +1,97 @@
+//! Property-based tests of workload generation and loss planning.
+
+use chm_workloads::distributions::{FlowSizeDistribution, WorkloadKind};
+use chm_workloads::{caida_like_trace, testbed_trace, LossPlan, VictimSelection};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Traces have unique IDs, the requested flow count, and ≥1 packet per
+    /// flow.
+    #[test]
+    fn trace_well_formed(n in 1usize..2000, seed in any::<u64>()) {
+        let t = caida_like_trace(n, seed);
+        prop_assert_eq!(t.num_flows(), n);
+        let ids: std::collections::HashSet<u32> =
+            t.flows.iter().map(|&(f, _)| f).collect();
+        prop_assert_eq!(ids.len(), n);
+        prop_assert!(t.flows.iter().all(|&(_, s)| s >= 1));
+    }
+
+    /// Quantile functions are monotone for every workload.
+    #[test]
+    fn quantiles_monotone(idx in 0usize..4, steps in 2usize..50) {
+        let d = WorkloadKind::ALL[idx].distribution();
+        let mut prev = 0u64;
+        for i in 0..=steps {
+            let q = d.quantile(i as f64 / steps as f64);
+            prop_assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    /// Bounded Pareto samples stay within [1, max].
+    #[test]
+    fn pareto_in_range(alpha in 0.2f64..3.0, log_max in 4u32..22, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let max = 1u64 << log_max;
+        let d = FlowSizeDistribution::bounded_pareto(alpha, max);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = d.sample(&mut rng);
+            prop_assert!((1..=max).contains(&s));
+        }
+    }
+
+    /// Loss plans: victims ⊆ trace flows; realized losses within flow sizes
+    /// and ≥ 1 per victim.
+    #[test]
+    fn loss_plan_sound(
+        n in 50usize..500,
+        ratio in 0.01f64..0.5,
+        rate in 0.005f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let t = caida_like_trace(n, seed);
+        let plan = LossPlan::build(&t, VictimSelection::RandomRatio(ratio), rate, seed ^ 1);
+        let sizes = t.size_map();
+        prop_assert!(plan.victims.keys().all(|f| sizes.contains_key(f)));
+        let (delivered, lost) = plan.apply_to_trace(&t, seed ^ 2);
+        prop_assert_eq!(lost.len(), plan.num_victims());
+        for (f, &l) in &lost {
+            prop_assert!(l >= 1 && l <= sizes[f]);
+            prop_assert_eq!(delivered[f] + l, sizes[f]);
+        }
+        // Non-victims deliver everything.
+        let total_delivered: u64 = delivered.values().sum();
+        let total_lost: u64 = lost.values().sum();
+        prop_assert_eq!(total_delivered + total_lost, t.total_packets());
+    }
+
+    /// Testbed traces route between distinct hosts within range.
+    #[test]
+    fn testbed_hosts_in_range(n in 10usize..500, hosts in 2u32..16, seed in any::<u64>()) {
+        let t = testbed_trace(WorkloadKind::Vl2, n, hosts, seed);
+        for &(f, _) in &t.flows {
+            let src = chm_workloads::trace::ip_host(f.src_ip);
+            let dst = chm_workloads::trace::ip_host(f.dst_ip);
+            prop_assert!(src < hosts && dst < hosts);
+            prop_assert_ne!(f.src_ip, f.dst_ip);
+        }
+    }
+
+    /// Packet streams preserve multiset multiplicities exactly.
+    #[test]
+    fn stream_multiplicities(n in 1usize..100, seed in any::<u64>()) {
+        let t = caida_like_trace(n, seed);
+        let stream = t.packet_stream(seed ^ 3);
+        prop_assert_eq!(stream.len() as u64, t.total_packets());
+        let mut counts: std::collections::HashMap<u32, u64> =
+            std::collections::HashMap::new();
+        for f in &stream {
+            *counts.entry(*f).or_insert(0) += 1;
+        }
+        prop_assert_eq!(counts, t.size_map());
+    }
+}

@@ -1,0 +1,51 @@
+//! Attention shifting live: degrade the network from healthy to ill and
+//! back, and watch ChameleMon re-divide its memory, move its thresholds,
+//! and adjust its sample rate — a miniature of Figure 9.
+//!
+//! Run with: `cargo run --release --example attention_demo`
+
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::ChameleMon;
+use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+
+fn main() {
+    let mut system = ChameleMon::testbed(DataPlaneConfig::small(0xa77e));
+    let trace = testbed_trace(WorkloadKind::Dctcp, 5_000, 8, 1);
+
+    // Five phases of five epochs: victim ratio ramps 1% → 10% → 40% → 10% → 1%.
+    let phases = [0.01, 0.10, 0.40, 0.10, 0.01];
+    println!(
+        "{:>5} {:>7} {:>9} {:>22} {:>5} {:>5} {:>7}",
+        "epoch", "phase", "state", "memory HH/HL/LL", "Th", "Tl", "sample"
+    );
+    for (pi, &ratio) in phases.iter().enumerate() {
+        let plan = LossPlan::build(
+            &trace,
+            VictimSelection::RandomRatio(ratio),
+            0.05,
+            100 + pi as u64,
+        );
+        for _ in 0..5 {
+            let out = system.run_epoch(&trace, &plan);
+            let rt = &out.config_in_effect;
+            let p = rt.partition;
+            let total = p.total() as f64;
+            println!(
+                "{:>5} {:>6.0}% {:>9} {:>7.0}%/{:>4.0}%/{:>4.0}% {:>5} {:>5} {:>6.2}",
+                out.report.epoch,
+                ratio * 100.0,
+                format!("{:?}", out.analysis.state_during),
+                p.m_hh as f64 / total * 100.0,
+                p.m_hl as f64 / total * 100.0,
+                p.m_ll as f64 / total * 100.0,
+                rt.th,
+                rt.tl,
+                rt.sample_rate(),
+            );
+        }
+    }
+    println!(
+        "\nfinal state: {:?} (expected Healthy after the network recovers)",
+        system.controller.state()
+    );
+}

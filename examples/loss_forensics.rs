@@ -1,0 +1,100 @@
+//! Loss forensics: the §5.1 head-to-head — FermatSketch vs FlowRadar vs
+//! LossRadar on a single monitored link.
+//!
+//! Demonstrates FermatSketch's defining property: memory proportional to the
+//! number of *victim flows*, not to the number of flows (FlowRadar) or lost
+//! packets (LossRadar).
+//!
+//! Run with: `cargo run --release --example loss_forensics`
+
+use chm_baselines::{FlowRadar, LossDetector, LossRadar};
+use chm_fermat::{FermatConfig, FermatSketch};
+use chm_workloads::{caida_like_trace, LossPlan, VictimSelection};
+use std::collections::HashMap;
+
+/// Replays the trace through a LossDetector.
+fn replay<D: LossDetector<u32>>(
+    det: &mut D,
+    delivered: &HashMap<u32, u64>,
+    lost: &HashMap<u32, u64>,
+) {
+    for (&f, &d) in delivered {
+        let l = lost.get(&f).copied().unwrap_or(0);
+        for seq in 0..(d + l) {
+            det.observe_upstream(&f, seq as u32);
+            if seq >= l {
+                det.observe_downstream(&f, seq as u32);
+            }
+        }
+    }
+}
+
+fn main() {
+    // The CAIDA-like setup of §5.1: largest 10K flows over the link, the
+    // largest 100 are victims at 10% loss.
+    let trace = caida_like_trace(100_000, 7).top_n(10_000);
+    let plan = LossPlan::build(&trace, VictimSelection::LargestN(100), 0.10, 8);
+    let (delivered, lost) = plan.apply_to_trace(&trace, 9);
+    let lost_pkts: u64 = lost.values().sum();
+    println!(
+        "link carries {} flows, {} packets; {} victim flows, {} lost packets\n",
+        trace.num_flows(),
+        trace.total_packets(),
+        lost.len(),
+        lost_pkts
+    );
+
+    // --- FermatSketch: sized by victim flows -----------------------------
+    let buckets = ((lost.len() as f64 * 1.43 / 3.0).ceil() as usize).max(8);
+    let cfg = FermatConfig::standard(buckets, 42);
+    let mut up = FermatSketch::<u32>::new(cfg);
+    let mut down = FermatSketch::<u32>::new(cfg);
+    for (&f, &d) in &delivered {
+        let l = lost.get(&f).copied().unwrap_or(0);
+        up.insert_weighted(&f, (d + l) as i64);
+        down.insert_weighted(&f, d as i64);
+    }
+    up.sub_assign_sketch(&down);
+    let decoded = up.decode();
+    let fermat_ok = decoded.success
+        && decoded.flows.len() == lost.len()
+        && decoded.flows.iter().all(|(f, &c)| lost.get(f) == Some(&(c as u64)));
+    println!(
+        "FermatSketch : {:8.1} KB  -> decode {}  ({} victims recovered)",
+        cfg.logical_memory_bytes::<u32>() / 1024.0,
+        if fermat_ok { "OK " } else { "FAIL" },
+        decoded.flows.len()
+    );
+
+    // --- FlowRadar: sized by total flows (cells ≈ 2× flows so the decode
+    // sits comfortably above the peeling threshold) --------------------
+    let fr_bytes = (trace.num_flows() as f64 * 2.0 * 12.0 / 0.9) as usize;
+    let mut fr = FlowRadar::<u32>::new(fr_bytes, 43);
+    replay(&mut fr, &delivered, &lost);
+    let fr_losses = fr.decode_losses();
+    println!(
+        "FlowRadar    : {:8.1} KB  -> decode {}  ({} victims recovered)",
+        fr.memory_bytes() / 1024.0,
+        if fr_losses.is_some() { "OK " } else { "FAIL" },
+        fr_losses.as_ref().map(|m| m.len()).unwrap_or(0)
+    );
+
+    // --- LossRadar: sized by lost packets --------------------------------
+    let lr_bytes = (lost_pkts as f64 * 1.43 * 10.0) as usize;
+    let mut lr = LossRadar::<u32>::new(lr_bytes, 44);
+    replay(&mut lr, &delivered, &lost);
+    let lr_losses = lr.decode_losses();
+    println!(
+        "LossRadar    : {:8.1} KB  -> decode {}  ({} victims recovered)",
+        lr.memory_bytes() / 1024.0,
+        if lr_losses.is_some() { "OK " } else { "FAIL" },
+        lr_losses.as_ref().map(|m| m.len()).unwrap_or(0)
+    );
+
+    println!(
+        "\nFermatSketch monitors the same losses in ~{:.0}x less memory than \
+         FlowRadar and ~{:.0}x less than LossRadar.",
+        fr.memory_bytes() / cfg.logical_memory_bytes::<u32>(),
+        lr.memory_bytes() / cfg.logical_memory_bytes::<u32>()
+    );
+}
