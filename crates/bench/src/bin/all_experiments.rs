@@ -5,13 +5,15 @@
 use chm_bench::experiments as ex;
 use chm_bench::report::Table;
 
+type Experiment<'a> = (&'a str, Box<dyn Fn() -> Vec<Table>>);
+
 fn main() {
     let trials = ex::trials();
     let scale = ex::scale();
     eprintln!("running all experiments (trials={trials}, scale={scale})");
     // Lazy thunks: each experiment runs (and prints + persists) before the
     // next starts, so progress is visible incrementally.
-    let groups: Vec<(&str, Box<dyn Fn() -> Vec<Table>>)> = vec![
+    let groups: Vec<Experiment> = vec![
         ("table1", Box::new(ex::table1::table1)),
         ("fig21", Box::new(ex::fig21::fig21)),
         ("fig22", Box::new(ex::fig22::fig22)),

@@ -24,6 +24,6 @@ pub fn table1() -> Vec<Table> {
         13.54,
     ]);
     t.push(vec![3.0, r.tcam_entries as f64, 2.78, 8.0, 2.78]);
-    t.push(vec![4.0, r.hash_bits as f64, f64::NAN, 809.0, 16.21]);
+    t.push(vec![4.0, r.hash_bits as f64, r.hash_pct(), 809.0, 16.21]);
     vec![t]
 }

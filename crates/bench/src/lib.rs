@@ -4,7 +4,8 @@
 //! The per-experiment index lives in DESIGN.md; measured-vs-paper results
 //! are recorded in EXPERIMENTS.md. Every binary prints a human-readable
 //! table to stdout and, when `--json <path>` conventions are used via
-//! [`report::write_json`], a machine-readable record under `results/`.
+//! [`report::Table::write_json`], a machine-readable record under
+//! `results/`.
 
 pub mod attention;
 pub mod lossdet;

@@ -1,12 +1,14 @@
 //! Result recording: aligned stdout tables plus JSON rows under `results/`,
 //! so EXPERIMENTS.md can cite machine-readable numbers.
+//!
+//! JSON is emitted by hand (the offline build has no serde): the schema is
+//! the fixed four-field record below, so a small writer is all we need.
 
-use serde::Serialize;
 use std::fs;
 use std::path::Path;
 
 /// One experiment's output: an id (e.g. "fig04a"), axis labels, and rows.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id matching DESIGN.md's index (e.g. `fig04a`).
     pub id: String,
@@ -70,7 +72,61 @@ impl Table {
     pub fn write_json(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
         fs::create_dir_all(&dir)?;
         let path = dir.as_ref().join(format!("{}.json", self.id));
-        fs::write(path, serde_json::to_vec_pretty(self).unwrap())
+        fs::write(path, self.to_json())
+    }
+
+    /// Renders the table as a pretty-printed JSON object.
+    fn to_json(&self) -> String {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| json_string(c))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells = row.iter().map(|v| json_number(*v)).collect::<Vec<_>>().join(", ");
+                format!("    [{cells}]")
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"columns\": [{}],\n  \"rows\": [\n{}\n  ]\n}}\n",
+            json_string(&self.id),
+            json_string(&self.title),
+            columns,
+            rows
+        )
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (JSON has no NaN/Inf — map to null).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 

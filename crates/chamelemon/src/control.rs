@@ -51,7 +51,11 @@ pub struct EpochAnalysis<F> {
     /// (also `None` when the LL encoders have zero memory).
     pub ll_flowset: Option<HashMap<F, i64>>,
     /// Packet loss detection output: victim flow → estimated lost packets
-    /// (sum of its HL- and LL-flowset sizes, §4.2).
+    /// (sum of its HL- and LL-flowset sizes, §4.2). When the delta HL
+    /// encoder fails to fully decode, flows peeled before the stall are
+    /// still reported if the fully-decoded upstream HH flowsets attest
+    /// they exist; the residual 2-core is recovered after the controller
+    /// resizes the encoder for the next epoch.
     pub loss_report: HashMap<F, u64>,
     /// Estimated number of flows per switch (linear counting on the
     /// classifier).
@@ -110,6 +114,12 @@ pub struct Controller<F: FlowId> {
     state: NetworkState,
     sample_hash: PairwiseHash,
     mrac: MracConfig,
+    /// HL-encoder sizes whose delta decode failed. The failure mode is a
+    /// full-array hash collision, which with fixed per-salt seeds is
+    /// deterministic in (bucket count, flow set) — so under stationary
+    /// traffic, redeploying one of these sizes would fail identically.
+    /// The resize logic steps past them.
+    failed_hl_sizes: std::collections::HashSet<usize>,
     _f: std::marker::PhantomData<F>,
 }
 
@@ -125,8 +135,28 @@ impl<F: FlowId> Controller<F> {
             state: NetworkState::Healthy,
             sample_hash,
             mrac: MracConfig::realtime(),
+            failed_hl_sizes: std::collections::HashSet::new(),
             _f: std::marker::PhantomData,
         }
+    }
+
+    /// Nearest size to `m` not on the failed-size list: steps up toward
+    /// `m_df` first; if the cap itself has failed, steps down toward
+    /// `min_hl_buckets` instead — any change of modulus re-randomizes the
+    /// bucket mapping, which is what breaks the collision.
+    fn step_past_failed_hl(&self, m: usize) -> usize {
+        let mut up = m;
+        while self.failed_hl_sizes.contains(&up) && up < self.cfg.m_df {
+            up += 1;
+        }
+        if !self.failed_hl_sizes.contains(&up) {
+            return up;
+        }
+        let mut down = m;
+        while self.failed_hl_sizes.contains(&down) && down > self.cfg.min_hl_buckets {
+            down -= 1;
+        }
+        down
     }
 
     /// The runtime configuration currently deployed on the switches.
@@ -217,6 +247,12 @@ impl<F: FlowId> Controller<F> {
             cum_up.sub_assign_sketch(&cum_down);
             delta_hl = Some(cum_up);
         }
+        // On a failed decode the flows peeled before the stall are still
+        // verified extractions (pure-bucket test + negative-flow
+        // cancellation, §A.2) — only the residual 2-core is unrecoverable.
+        // Keep them for the loss report; `hl_flowset = None` still signals
+        // the reconfiguration logic that the encoder needs more memory.
+        let mut hl_partial: HashMap<F, i64> = HashMap::new();
         let (hl_flowset, est_hls) = match &delta_hl {
             Some(delta) if hh_decode_ok => {
                 let r = delta.decode();
@@ -224,6 +260,7 @@ impl<F: FlowId> Controller<F> {
                     let n = r.flows.len() as f64;
                     (Some(r.flows), n)
                 } else {
+                    hl_partial = r.flows;
                     (None, delta.linear_count(0))
                 }
             }
@@ -259,11 +296,26 @@ impl<F: FlowId> Controller<F> {
         };
 
         // --- loss report (§4.2) -------------------------------------------
+        // Full decodes report as-is. A *partial* HL decode may contain a
+        // false extraction whose cancelling negative twin is stuck in the
+        // undecoded residue, so partial flows are reported only when the
+        // fully-decoded upstream HH flowsets attest the flow exists (sound:
+        // a successful FermatSketch decode is exact). Partial LL flows have
+        // no such witness and are never reported.
         let mut loss_report: HashMap<F, u64> = HashMap::new();
-        if let Some(hl) = &hl_flowset {
-            for (f, c) in hl {
-                if *c > 0 {
-                    *loss_report.entry(*f).or_insert(0) += *c as u64;
+        match &hl_flowset {
+            Some(hl) => {
+                for (f, c) in hl {
+                    if *c > 0 {
+                        *loss_report.entry(*f).or_insert(0) += *c as u64;
+                    }
+                }
+            }
+            None => {
+                for (f, c) in &hl_partial {
+                    if *c > 0 && hh_flowsets.iter().any(|m| m.contains_key(f)) {
+                        *loss_report.entry(*f).or_insert(0) += *c as u64;
+                    }
                 }
             }
         }
@@ -402,6 +454,9 @@ impl<F: FlowId> Controller<F> {
         // Step 2: delta HL decoding / memory utilization.
         match &a.hl_flowset {
             None => {
+                // This size just failed to decode under live traffic;
+                // remember it so resizing never lands on it again.
+                self.failed_hl_sizes.insert(a.runtime.partition.m_hl);
                 let required_total = a.est_hls / TARGET_LOAD; // buckets (m·d)
                 let max_total = self.cfg.m_df as f64 * d;
                 if required_total > max_total {
@@ -415,9 +470,19 @@ impl<F: FlowId> Controller<F> {
                     rt.set_sample_rate(ll_cap / a.est_hls.max(1.0));
                     return self.finish_with_th(rt, a);
                 }
-                // Expand the HL encoders to the required memory.
-                let new_m_hl = ((required_total / d).ceil() as usize)
-                    .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+                // Expand the HL encoders to the required memory — and
+                // always *strictly* grow: the estimate can claim the
+                // current size suffices when the failure was a rare
+                // all-arrays collision (the (1/m)^{d-1} 2-core), and
+                // redeploying the same `m` would retry the identical
+                // mapping every epoch. Growing changes the modulus, which
+                // re-randomizes the mapping and breaks the collision.
+                let grown = rt.partition.m_hl + (rt.partition.m_hl / 2).max(1);
+                let new_m_hl = self.step_past_failed_hl(
+                    ((required_total / d).ceil() as usize)
+                        .max(grown)
+                        .clamp(self.cfg.min_hl_buckets, self.cfg.m_df),
+                );
                 rt.partition = Partition {
                     m_hh: self.cfg.m_uf - new_m_hl,
                     m_hl: new_m_hl,
@@ -427,9 +492,12 @@ impl<F: FlowId> Controller<F> {
             Some(hl) => {
                 let load = hl.len() as f64 / (rt.partition.m_hl as f64 * d);
                 if load < LOW_LOAD {
-                    // Compress toward 70%, but keep the reserved minimum.
-                    let new_m_hl = ((hl.len() as f64 / TARGET_LOAD / d).ceil() as usize)
-                        .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+                    // Compress toward 70%, but keep the reserved minimum —
+                    // and never compress onto a size that failed to decode.
+                    let new_m_hl = self.step_past_failed_hl(
+                        ((hl.len() as f64 / TARGET_LOAD / d).ceil() as usize)
+                            .clamp(self.cfg.min_hl_buckets, self.cfg.m_df),
+                    );
                     rt.partition = Partition {
                         m_hh: self.cfg.m_uf - new_m_hl,
                         m_hl: new_m_hl,
@@ -495,8 +563,10 @@ impl<F: FlowId> Controller<F> {
             // Ill → Healthy transition: eliminate LL encoders, give the
             // required memory (≥ reserved minimum) to the HL encoders.
             self.state = NetworkState::Healthy;
-            let new_m_hl = ((required_total / d).ceil() as usize)
-                .clamp(self.cfg.min_hl_buckets, self.cfg.m_df);
+            let new_m_hl = self.step_past_failed_hl(
+                ((required_total / d).ceil() as usize)
+                    .clamp(self.cfg.min_hl_buckets, self.cfg.m_df),
+            );
             rt.partition = Partition {
                 m_hh: self.cfg.m_uf - new_m_hl,
                 m_hl: new_m_hl,

@@ -40,12 +40,20 @@ pub struct ResourceUsage {
     pub tcam_entries: usize,
     /// Hash bits consumed.
     pub hash_bits: usize,
+    /// Hash bits available on the reference Tofino (Table 1 reports the
+    /// paper's 809 bits as 16.21%, giving a 4992-bit budget).
+    pub hash_bits_total: usize,
 }
 
 impl ResourceUsage {
     /// SALU utilization in percent (Table 1 reports 66.67% at defaults).
     pub fn salu_pct(&self) -> f64 {
         self.salus as f64 / self.salus_total as f64 * 100.0
+    }
+
+    /// Hash-bit utilization in percent.
+    pub fn hash_pct(&self) -> f64 {
+        self.hash_bits as f64 / self.hash_bits_total as f64 * 100.0
     }
 }
 
@@ -92,6 +100,7 @@ pub fn resource_usage(cfg: &DataPlaneConfig) -> ResourceUsage {
         sram_total: 960,
         tcam_entries,
         hash_bits,
+        hash_bits_total: 4992,
     }
 }
 

@@ -1,7 +1,7 @@
 //! The seven measurement tasks (§4.2), computed from the collected
 //! classifier + upstream HH encoder (accumulation tasks) and the decoded
 //! delta encoders (packet loss detection, already part of
-//! [`EpochAnalysis`](crate::control::EpochAnalysis)).
+//! [`crate::control::EpochAnalysis`]).
 //!
 //! All tasks are *network-wide*: per-switch results are synthesized by
 //! summing (distribution, cardinality) or maxing (flow size — a flow is

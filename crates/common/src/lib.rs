@@ -9,7 +9,7 @@
 //! * [`hash`] — a seeded, pairwise-independent hash family
 //!   (`h(x) = ((a·x + b) mod p) mod m`) plus a strong 64-bit finalizer, the
 //!   software analogue of the CRC-polynomial hash units on a Tofino switch.
-//! * [`flowid`] — the [`FlowId`](flowid::FlowId) trait that fragments a flow
+//! * [`flowid`] — the [`FlowId`] trait that fragments a flow
 //!   identifier into lanes small enough to be encoded in a single IDsum field
 //!   (the paper's prototype splits a 104-bit 5-tuple across four 32-bit
 //!   counters; we split across two 52-bit fragments under a 61-bit prime).

@@ -497,7 +497,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let mut lost: HashMap<u32, i64> = HashMap::new();
         for fid in 0..1000u32 {
-            let pkts = rng.gen_range(1..20);
+            let pkts: i64 = rng.gen_range(1..20);
             let dropped = if fid % 10 == 0 { rng.gen_range(1..=pkts.min(5)) } else { 0 };
             up.insert_weighted(&fid, pkts);
             down.insert_weighted(&fid, pkts - dropped);

@@ -1,7 +1,7 @@
 //! Flow-size distributions for trace synthesis.
 //!
-//! The four named workloads follow the paper (§5.2): DCTCP [40] (web
-//! search), HADOOP [43] (Facebook datacenter), VL2 [44], and CACHE [45]
+//! The four named workloads follow the paper (§5.2): DCTCP \[40\] (web
+//! search), HADOOP \[43\] (Facebook datacenter), VL2 \[44\], and CACHE \[45\]
 //! (key-value store). Flow sizes are in **packets** — the testbed normalizes
 //! every packet to 64 bytes, so only packet counts matter to ChameleMon.
 //!
@@ -16,13 +16,13 @@ use rand::Rng;
 /// The workload families of §5.2 / Appendix E.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadKind {
-    /// DCTCP web-search distribution [40].
+    /// DCTCP web-search distribution \[40\].
     Dctcp,
-    /// Facebook Hadoop distribution [43].
+    /// Facebook Hadoop distribution \[43\].
     Hadoop,
-    /// VL2 datacenter measurement distribution [44].
+    /// VL2 datacenter measurement distribution \[44\].
     Vl2,
-    /// Key-value-store (memcached) distribution [45].
+    /// Key-value-store (memcached) distribution \[45\].
     Cache,
 }
 

@@ -1,0 +1,291 @@
+//! Minimal vendored subset of the `criterion` benchmarking API.
+//!
+//! Implements the surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`](Criterion::benchmark_group), [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], [`criterion_group!`],
+//! [`criterion_main!`] — with a straightforward warm-up + sample timing
+//! loop. Results print as `name  time: [mean ns/iter]  thrpt: [elem/s]`.
+//! No statistics, baselines, or reports: just honest wall-clock numbers so
+//! `cargo bench` works offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Expected amount of work per iteration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to the closure given to `bench_function`.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Mean time per iteration measured by the last `iter` call.
+    mean_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_until = Instant::now() + self.settings.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        let warm_elapsed = self.settings.warm_up_time.as_secs_f64().max(1e-9);
+        let est_per_iter = warm_elapsed / warm_iters as f64;
+
+        // Measurement: split the measurement budget into `sample_size`
+        // samples of roughly equal iteration count.
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let samples = self.settings.sample_size.max(1) as f64;
+        let iters_per_sample =
+            ((budget / samples / est_per_iter).ceil() as u64).clamp(1, 1_000_000_000);
+        let mut total_ns: f64 = 0.0;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.settings.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += iters_per_sample;
+        }
+        self.mean_ns = total_ns / total_iters as f64;
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / mean_ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:.3} MiB/s", n as f64 / mean_ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} time: {:>12}/iter{thrpt}", human_time(mean_ns));
+}
+
+/// Benchmark driver (analogue of criterion's `Criterion`).
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher { settings: &self.settings, mean_ns: f64::NAN };
+        f(&mut b);
+        report(&id.id, b.mean_ns, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.settings.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.settings.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut b = Bencher { settings: &self.criterion.settings, mean_ns: f64::NAN };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { settings: &self.criterion.settings, mean_ns: f64::NAN };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.mean_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_produces_finite_mean() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,348 @@
+//! Minimal vendored subset of the `proptest` API.
+//!
+//! Supports exactly what the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute;
+//! * strategies: integer and float [`Range`](core::ops::Range)s,
+//!   [`any`]`::<T>()` for primitive `T`, tuples of strategies (arity ≤ 6),
+//!   and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`].
+//!
+//! Cases are generated from a seed derived deterministically from the test's
+//! module path and name, so every run of the suite sees the same inputs
+//! (the workspace's "seed-pinned" policy for randomized tests). Shrinking is
+//! not implemented: a failing case reports its inputs via `Debug` instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (analogue of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A source of random values for strategies.
+pub type TestRng = StdRng;
+
+/// A generator of values of type `Self::Value` (no shrinking).
+pub trait Strategy {
+    /// The type of value produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Primitive types drawable from their full range (analogue of proptest's
+/// `Arbitrary` for primitives).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over `T`'s full value range.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: core::marker::PhantomData }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length specification for [`vec()`]: a fixed size or a size range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `vec(strategy, len_range)` — a vector of values from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a over the fully-qualified test name.
+pub fn seed_for(test_path: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Constructs the RNG for one case of one property.
+pub fn rng_for_case(test_path: &str, case: u32) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_path) ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::collection::vec as prop_vec;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// immediately) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(l == r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l != r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+}
+
+/// Defines property tests (analogue of proptest's `proptest!` macro).
+///
+/// Each property runs `config.cases` times with deterministically-seeded
+/// inputs; a failing case panics with the case number and message (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(cfg = ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::rng_for_case(test_path, case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __proptest_rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest: property {} failed at case {}/{}: {}",
+                        test_path, case, config.cases, e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0u64..100, (b, c) in (any::<u16>(), 1i64..5)) {
+            prop_assert!(a < 100);
+            prop_assert_ne!(i64::from(b) - 70_000, c);
+            prop_assert!((1..5).contains(&c));
+        }
+
+        #[test]
+        fn vec_lengths(v in prop_vec(any::<u32>(), 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert_eq!(v.capacity() >= v.len(), true);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng_for_case("x::y", 3);
+        let mut b = crate::rng_for_case("x::y", 3);
+        let seq_a: Vec<u64> = (0..10).map(|_| rand::Rng::gen(&mut a)).collect();
+        let seq_b: Vec<u64> = (0..10).map(|_| rand::Rng::gen(&mut b)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}
