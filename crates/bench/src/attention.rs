@@ -97,23 +97,23 @@ pub fn stable_point(
 }
 
 /// The Figure-7-style sweep: #flows 10K..100K at fixed victim ratio 10%.
+/// Sweep points are independent deployments and run on the parallel
+/// executor (deterministic per-point seeds, ordered results).
 pub fn sweep_num_flows(workload: WorkloadKind, seed: u64) -> Vec<AttentionPoint> {
-    (1..=10)
-        .map(|k| {
-            let flows = k * 10_000;
-            stable_point(workload, flows, 0.10, flows as f64, seed + k as u64)
-        })
-        .collect()
+    crate::parallel::run_trials(10, |i| {
+        let k = i + 1;
+        let flows = k * 10_000;
+        stable_point(workload, flows, 0.10, flows as f64, seed + k as u64)
+    })
 }
 
 /// The Figure-8-style sweep: victim ratio 2.5%..25% at fixed 50K flows.
 pub fn sweep_victim_ratio(workload: WorkloadKind, seed: u64) -> Vec<AttentionPoint> {
-    (1..=10)
-        .map(|k| {
-            let ratio = 0.025 * k as f64;
-            stable_point(workload, 50_000, ratio, ratio * 100.0, seed + k as u64)
-        })
-        .collect()
+    crate::parallel::run_trials(10, |i| {
+        let k = i + 1;
+        let ratio = 0.025 * k as f64;
+        stable_point(workload, 50_000, ratio, ratio * 100.0, seed + k as u64)
+    })
 }
 
 /// Renders a sweep as a report table with the standard columns.

@@ -1,0 +1,55 @@
+//! `chm-bench` — the benchmark driver CLI.
+//!
+//! ```text
+//! chm-bench perf [--quick] [--out <dir>]
+//! ```
+//!
+//! `perf` measures the hot-path packet engine (packets/sec, decode latency)
+//! against the in-tree legacy replica of the pre-fast-path implementation
+//! and writes `results/BENCH_hotpath.json` (see `chm_bench::perf`).
+//! `--quick` runs the reduced CI-smoke sizing; `--out` overrides the
+//! results directory.
+
+use chm_bench::perf::{self, PerfConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: chm-bench perf [--quick] [--out <dir>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "perf" => {
+            let mut pc = PerfConfig::full();
+            let mut out_dir = "results".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => pc = PerfConfig::quick(),
+                    "--out" => match it.next() {
+                        Some(d) => out_dir = d.clone(),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let table = perf::run(pc);
+            table.print();
+            if let Err(e) = table.write_json(&out_dir) {
+                eprintln!("error: could not write {out_dir}/BENCH_hotpath.json: {e}");
+                std::process::exit(1);
+            }
+            let row = &table.rows[0];
+            let speedup = row[2];
+            eprintln!(
+                "\nreplay: {:.2} Mpps legacy -> {:.2} Mpps fast ({speedup:.2}x); \
+                 json: {out_dir}/BENCH_hotpath.json",
+                row[0] / 1e6,
+                row[1] / 1e6,
+            );
+        }
+        _ => usage(),
+    }
+}

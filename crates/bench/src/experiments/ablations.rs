@@ -16,25 +16,22 @@ use chm_fermat::{c_d, FermatConfig, FermatSketch};
 use chm_workloads::caida_like_trace;
 
 /// Decode success rate for `flows` random flows at `total_buckets` spread
-/// over `d` arrays.
+/// over `d` arrays. Trials fan out over the parallel executor.
 fn success_rate(d: usize, total_buckets: usize, flows: &[u32], trials: u64) -> f64 {
-    let mut ok = 0;
-    for t in 0..trials {
+    let successes = crate::parallel::run_trials(trials as usize, |t| {
         let cfg = FermatConfig {
             arrays: d,
             buckets_per_array: (total_buckets / d).max(1),
             fingerprint_bits: 0,
-            seed: 0xab1a + t * 131,
+            seed: 0xab1a + t as u64 * 131,
         };
         let mut s = FermatSketch::<u32>::new(cfg);
         for f in flows {
             s.insert(f);
         }
-        if s.decode_in_place().success {
-            ok += 1;
-        }
-    }
-    ok as f64 / trials as f64
+        u64::from(s.decode_in_place().success)
+    });
+    successes.iter().sum::<u64>() as f64 / trials as f64
 }
 
 /// Ablation 1: array count at equal memory.
@@ -76,23 +73,20 @@ pub fn ablation_fingerprint(trials: u64) -> Vec<Table> {
         for fp_bits in [0u32, 4, 8, 16] {
             let bucket_bytes = 8.0 + fp_bits as f64 / 8.0;
             let total = (flows.len() as f64 * bytes_pf / bucket_bytes) as usize;
-            let mut ok = 0;
-            for tr in 0..trials {
+            let successes = crate::parallel::run_trials(trials as usize, |tr| {
                 let cfg = FermatConfig {
                     arrays: 3,
                     buckets_per_array: (total / 3).max(1),
                     fingerprint_bits: fp_bits,
-                    seed: 0xab2 + tr * 17,
+                    seed: 0xab2 + tr as u64 * 17,
                 };
                 let mut s = FermatSketch::<u32>::new(cfg);
                 for f in &flows {
                     s.insert(f);
                 }
-                if s.decode_in_place().success {
-                    ok += 1;
-                }
-            }
-            row.push(ok as f64 / trials as f64);
+                u64::from(s.decode_in_place().success)
+            });
+            row.push(successes.iter().sum::<u64>() as f64 / trials as f64);
         }
         t.push(row);
     }

@@ -74,7 +74,7 @@ pub fn fig09() -> Vec<Table> {
             if settled_at.is_none() && prev_staged.as_ref() == Some(&out.staged_runtime) {
                 settled_at = Some(e);
             }
-            prev_staged = Some(out.staged_runtime.clone());
+            prev_staged = Some(out.staged_runtime);
             epoch += 1;
         }
         if phase > 0 {

@@ -7,24 +7,22 @@ use chm_fermat::{FermatConfig, FermatSketch};
 use chm_workloads::caida_like_trace;
 
 /// Success rate of `trials` decodes at a given (flows, buckets/array, fp).
+/// Trials are independent (per-trial seed) and run on the parallel executor.
 fn success_rate(flows: &[u32], buckets_per_array: usize, fp_bits: u32, trials: u64) -> f64 {
-    let mut ok = 0u64;
-    for t in 0..trials {
+    let successes = crate::parallel::run_trials(trials as usize, |t| {
         let cfg = FermatConfig {
             arrays: 3,
             buckets_per_array,
             fingerprint_bits: fp_bits,
-            seed: 0xf1f0 + t * 31,
+            seed: 0xf1f0 + t as u64 * 31,
         };
         let mut s = FermatSketch::<u32>::new(cfg);
         for f in flows {
             s.insert(f);
         }
-        if s.decode_in_place().success {
-            ok += 1;
-        }
-    }
-    ok as f64 / trials as f64
+        u64::from(s.decode_in_place().success)
+    });
+    successes.iter().sum::<u64>() as f64 / trials as f64
 }
 
 /// Runs both panels.

@@ -369,17 +369,17 @@ pub fn fig11(scale: usize) -> Vec<Table> {
         ("fig11f", "Figure 11(f): cardinality (RE)", |s| s.card_re),
     ];
 
-    // Collect scores for every memory size first.
+    // Collect scores for every memory size first; memory sizes are
+    // independent and fan out over the parallel executor.
     let mems: Vec<usize> = (2..=6).map(|k| k * 100 * 1024).collect();
-    let all: Vec<(usize, Vec<(&'static str, TaskScores)>)> = mems
-        .iter()
-        .map(|&mem| {
+    let all: Vec<(usize, Vec<(&'static str, TaskScores)>)> =
+        crate::parallel::run_trials(mems.len(), |i| {
+            let mem = mems[i];
             (
                 mem,
                 run_all(mem, [&stream_a, &stream_b], [&truth_a, &truth_b]),
             )
-        })
-        .collect();
+        });
 
     let names: Vec<&'static str> = all[0].1.iter().map(|&(n, _)| n).collect();
     panels

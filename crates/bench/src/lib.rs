@@ -9,7 +9,10 @@
 
 pub mod attention;
 pub mod lossdet;
+pub mod parallel;
+pub mod perf;
 pub mod report;
 
 pub use lossdet::{min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario};
+pub use parallel::{run_trials, run_trials_all, run_trials_with};
 pub mod experiments;

@@ -51,8 +51,9 @@ impl LossScenario {
 }
 
 /// One detector family under benchmark: construct at a memory size, replay
-/// a scenario, decode.
-pub trait LossBench {
+/// a scenario, decode. `Sync` so the parallel trial executor can share one
+/// bench across workers (implementations are stateless unit structs).
+pub trait LossBench: Sync {
     /// Human-readable name for tables.
     fn name(&self) -> &'static str;
 
@@ -160,7 +161,8 @@ pub struct MinMemoryResult {
 }
 
 /// Exponential + binary search for the smallest memory at which `trials`
-/// trials all succeed.
+/// trials all succeed. The per-memory trial batch fans out over the
+/// parallel executor (deterministic seeds, early exit on first failure).
 pub fn min_memory_for_success(
     bench: &dyn LossBench,
     sc: &LossScenario,
@@ -168,15 +170,11 @@ pub fn min_memory_for_success(
     floor_bytes: usize,
 ) -> MinMemoryResult {
     let all_ok = |mem: usize| -> Option<f64> {
-        let mut total_dt = 0.0;
-        for t in 0..trials {
-            let (ok, dt, _) = bench.trial(sc, mem, 0x5eed_0000 + t * 7919);
-            if !ok {
-                return None;
-            }
-            total_dt += dt;
-        }
-        Some(total_dt / trials as f64)
+        let dts = crate::parallel::run_trials_all(trials as usize, |t| {
+            let (ok, dt, _) = bench.trial(sc, mem, 0x5eed_0000 + t as u64 * 7919);
+            ok.then_some(dt)
+        })?;
+        Some(dts.iter().sum::<f64>() / trials as f64)
     };
     // Exponential phase.
     let mut hi = floor_bytes.max(64);

@@ -1,0 +1,203 @@
+//! Parallel trial executor for the figure/table experiments.
+//!
+//! Every experiment in this crate is a map over independent, deterministic
+//! work items: trials differing only in their seed, sweep points differing
+//! only in their parameters. This module fans those maps out over
+//! `std::thread::scope` worker threads (no external dependencies) while
+//! guaranteeing the three properties the harness relies on:
+//!
+//! 1. **Deterministic seeding** — the closure receives the item *index*;
+//!    every seed is derived from it exactly as the sequential loop did, so
+//!    results do not depend on which worker ran the item.
+//! 2. **Ordered collection** — results come back in item order, whatever
+//!    the completion order was.
+//! 3. **Bit-identical fallback** — with one worker (or one item) the
+//!    executor degenerates to the plain sequential loop; for deterministic
+//!    experiments the outputs are byte-identical at any worker count (see
+//!    `tests/parallel_determinism.rs`).
+//!
+//! Worker count defaults to the machine's available parallelism and is
+//! overridable with the `CHM_THREADS` environment variable (`CHM_THREADS=1`
+//! forces the sequential path).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Worker-thread count: `CHM_THREADS` if set, else available parallelism.
+pub fn threads() -> usize {
+    std::env::var("CHM_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Maps `f` over `0..n` with the default worker count (see [`threads`]),
+/// returning results in index order.
+///
+/// `f` must be deterministic in its index argument — derive any randomness
+/// from a seed computed from the index, never from shared state.
+pub fn run_trials<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_trials_with(threads(), n, f)
+}
+
+/// Maps `f` over `0..n` on exactly `workers` threads, returning results in
+/// index order. `workers <= 1` runs inline with no thread machinery.
+pub fn run_trials_with<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("trial worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("work-stealing counter covered every index"))
+        .collect()
+}
+
+/// All-or-nothing map: `f` returns `Some(result)` on success and `None` on
+/// failure; the whole call returns `Some(results)` in index order iff every
+/// item succeeded.
+///
+/// The first failure raises a flag that makes the remaining workers stop
+/// picking up new items, mirroring the sequential loop's early exit — a
+/// memory-search probe below the decodable threshold fails fast instead of
+/// burning the full trial budget. The outcome (`Some`/`None`) is identical
+/// to the sequential loop's: items are deterministic, so a failing set
+/// fails regardless of how many items were attempted.
+pub fn run_trials_all<T, F>(n: usize, f: F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    let workers = threads();
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let f = &f;
+    let next = &next;
+    let failed_ref = &failed;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers.min(n))
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        if failed_ref.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        match f(i) {
+                            Some(v) => local.push((i, v)),
+                            None => {
+                                failed_ref.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("trial worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    if failed.load(Ordering::Relaxed) {
+        return None;
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let f = |i: usize| {
+            // A deterministic, seed-derived payload.
+            let mut acc = chm_common::mix64(i as u64);
+            for _ in 0..100 {
+                acc = chm_common::mix64(acc);
+            }
+            (i, acc)
+        };
+        let seq = run_trials_with(1, 64, f);
+        for workers in [2, 3, 8] {
+            assert_eq!(run_trials_with(workers, 64, f), seq, "workers={workers}");
+        }
+        assert_eq!(run_trials(64, f), seq);
+    }
+
+    #[test]
+    fn results_are_index_ordered() {
+        let out = run_trials_with(4, 100, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        assert_eq!(run_trials_with(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_trials_with(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn all_or_nothing_detects_failure() {
+        assert_eq!(
+            run_trials_all(20, |i| (i != 13).then_some(i)),
+            None::<Vec<usize>>
+        );
+        assert_eq!(
+            run_trials_all(20, Some),
+            Some((0..20).collect::<Vec<_>>())
+        );
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+}

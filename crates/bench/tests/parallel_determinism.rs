@@ -1,0 +1,50 @@
+//! The parallel trial executor must be **bit-identical** to the sequential
+//! path for the same seeds — figure outputs cannot depend on the worker
+//! count. This runs real (deterministic) figure experiments at both
+//! `CHM_THREADS=1` and a multi-worker setting and compares the rendered
+//! JSON byte for byte. (Timing-valued experiments — decode seconds,
+//! response milliseconds — are inherently non-deterministic wall-clock
+//! measurements and are exercised by their own suites.)
+//!
+//! Single `#[test]` on purpose: the worker count is read from the process
+//! environment, and integration tests within one binary run concurrently.
+
+use chm_bench::experiments::fig10;
+use chm_bench::lossdet::{min_memory_for_success, FermatLossBench, LossScenario};
+use chm_bench::report::Table;
+use chm_workloads::{caida_like_trace, VictimSelection};
+
+fn render(tables: &[Table]) -> Vec<String> {
+    let dir = std::env::temp_dir().join(format!(
+        "chm_parallel_determinism_{}",
+        std::process::id()
+    ));
+    let mut out = Vec::new();
+    for t in tables {
+        t.write_json(&dir).expect("write json");
+        out.push(
+            std::fs::read_to_string(dir.join(format!("{}.json", t.id))).expect("read json"),
+        );
+    }
+    out
+}
+
+#[test]
+fn figure_outputs_are_identical_at_any_worker_count() {
+    let scenario = {
+        let trace = caida_like_trace(3_000, 1).top_n(1_200);
+        LossScenario::from_trace(&trace, VictimSelection::RandomN(80), 0.02, 2)
+    };
+
+    std::env::set_var("CHM_THREADS", "1");
+    let fig10_seq = render(&fig10::fig10(2));
+    let mem_seq = min_memory_for_success(&FermatLossBench, &scenario, 4, 64).memory_bytes;
+
+    std::env::set_var("CHM_THREADS", "4");
+    let fig10_par = render(&fig10::fig10(2));
+    let mem_par = min_memory_for_success(&FermatLossBench, &scenario, 4, 64).memory_bytes;
+    std::env::remove_var("CHM_THREADS");
+
+    assert_eq!(fig10_seq, fig10_par, "fig10 JSON differs by worker count");
+    assert_eq!(mem_seq, mem_par, "memory search differs by worker count");
+}

@@ -128,7 +128,11 @@ impl Partition {
 
 /// Runtime-reconfigurable state (§4.3). One instance is deployed network-
 /// wide; reconfigurations take effect at the next epoch flip.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: this is a handful of scalars — the epoch pipeline passes it by
+/// value instead of cloning through `Arc` indirection, so sharing the
+/// deployed configuration across edges and sketch groups is free.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
     /// Current encoder partition.
     pub partition: Partition,

@@ -18,8 +18,9 @@ use crate::config::{DataPlaneConfig, Partition, RuntimeConfig};
 use crate::dataplane::CollectedGroup;
 use chm_common::hash::PairwiseHash;
 use chm_common::FlowId;
-use chm_fermat::FermatSketch;
+use chm_fermat::{DecodeScratch, FermatSketch};
 use chm_tower::MracConfig;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Load-factor targets (§4.3: reconfigure toward 70%, act below 60%).
@@ -120,6 +121,10 @@ pub struct Controller<F: FlowId> {
     /// traffic, redeploying one of these sizes would fail identically.
     /// The resize logic steps past them.
     failed_hl_sizes: std::collections::HashSet<usize>,
+    /// Reusable decode workspace: every epoch's sketch decodes run through
+    /// this scratch, so the controller never clones a sketch to decode it
+    /// and its peeling allocations persist across epochs.
+    scratch: RefCell<DecodeScratch<F>>,
     _f: std::marker::PhantomData<F>,
 }
 
@@ -136,6 +141,7 @@ impl<F: FlowId> Controller<F> {
             sample_hash,
             mrac: MracConfig::realtime(),
             failed_hl_sizes: std::collections::HashSet::new(),
+            scratch: RefCell::new(DecodeScratch::new()),
             _f: std::marker::PhantomData,
         }
     }
@@ -178,7 +184,8 @@ impl<F: FlowId> Controller<F> {
     /// collected groups of all edge switches.
     pub fn analyze_epoch(&self, collected: &[CollectedGroup<F>]) -> EpochAnalysis<F> {
         assert!(!collected.is_empty(), "no switches collected");
-        let runtime = collected[0].runtime.clone();
+        let scratch = &mut *self.scratch.borrow_mut();
+        let runtime = collected[0].runtime;
         let d = self.cfg.arrays as f64;
 
         // --- flows & flow-size distribution per switch -------------------
@@ -196,7 +203,7 @@ impl<F: FlowId> Controller<F> {
                 hh_flowsets.push(HashMap::new());
                 continue;
             }
-            let r = g.up_hh.decode();
+            let r = g.up_hh.decode_with(scratch);
             if !r.success {
                 hh_decode_ok = false;
             }
@@ -255,7 +262,7 @@ impl<F: FlowId> Controller<F> {
         let mut hl_partial: HashMap<F, i64> = HashMap::new();
         let (hl_flowset, est_hls) = match &delta_hl {
             Some(delta) if hh_decode_ok => {
-                let r = delta.decode();
+                let r = delta.decode_with(scratch);
                 if r.success {
                     let n = r.flows.len() as f64;
                     (Some(r.flows), n)
@@ -284,7 +291,7 @@ impl<F: FlowId> Controller<F> {
         }
         let (ll_flowset, est_lls) = match &delta_ll {
             Some(delta) => {
-                let r = delta.decode();
+                let r = delta.decode_with(scratch);
                 if r.success {
                     let n = r.flows.len() as f64;
                     (Some(r.flows), n)
@@ -429,7 +436,7 @@ impl<F: FlowId> Controller<F> {
             NetworkState::Ill => self.reconfigure_ill(a),
         };
         rt.validate(&self.cfg).expect("controller produced invalid runtime");
-        self.deployed = rt.clone();
+        self.deployed = rt;
         rt
     }
 
@@ -437,7 +444,7 @@ impl<F: FlowId> Controller<F> {
     // Healthy network state (§4.3.1)
     // ------------------------------------------------------------------
     fn reconfigure_healthy(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
-        let mut rt = self.deployed.clone();
+        let mut rt = self.deployed;
         let d = self.cfg.arrays as f64;
         let flows_sw = max_or_zero(&a.est_flows_per_switch);
 
@@ -514,7 +521,7 @@ impl<F: FlowId> Controller<F> {
     // Ill network state (§4.3.2)
     // ------------------------------------------------------------------
     fn reconfigure_ill(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
-        let mut rt = self.deployed.clone();
+        let mut rt = self.deployed;
         let d = self.cfg.arrays as f64;
         let flows_sw = max_or_zero(&a.est_flows_per_switch);
 

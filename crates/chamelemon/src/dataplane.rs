@@ -89,6 +89,32 @@ impl<F: FlowId> SketchGroup<F> {
             runtime,
         }
     }
+
+    /// A zero-memory stand-in installed by [`EdgeDataPlane::take_group`]
+    /// while the real group is away at the controller. Inserting into it
+    /// panics (zero-bucket encoders), which makes any traffic arriving
+    /// between collection and the epoch flip a loud bug instead of silent
+    /// data loss.
+    fn tombstone(cfg: &DataPlaneConfig, runtime: RuntimeConfig) -> Self {
+        let tower = chm_tower::TowerConfig {
+            levels: vec![chm_tower::TowerLevel { width: 1, bits: 8 }],
+            seed: 0,
+        };
+        SketchGroup {
+            classifier: TowerSketch::new(tower),
+            up_hh: FermatSketch::new(cfg.fermat_for(0, salt::HH)),
+            up_hl: FermatSketch::new(cfg.fermat_for(0, salt::HL)),
+            up_ll: FermatSketch::new(cfg.fermat_for(0, salt::LL)),
+            down_hl: FermatSketch::new(cfg.fermat_for(0, salt::HL)),
+            down_ll: FermatSketch::new(cfg.fermat_for(0, salt::LL)),
+            runtime,
+        }
+    }
+
+    /// Whether the group's upstream encoders hold any packets.
+    fn is_upstream_empty(&self) -> bool {
+        self.up_hh.is_zero() && self.up_hl.is_zero() && self.up_ll.is_zero()
+    }
 }
 
 /// A snapshot of one group, as collected by the controller after the epoch
@@ -117,7 +143,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
         runtime.validate(&cfg).expect("invalid runtime config");
         let sample_hash = PairwiseHash::from_seed(cfg.seed ^ 0x5a3b_1e00);
         let groups = [
-            SketchGroup::new(&cfg, runtime.clone()),
+            SketchGroup::new(&cfg, runtime),
             SketchGroup::new(&cfg, runtime),
         ];
         EdgeDataPlane { cfg, groups, pending: None, sample_hash }
@@ -155,9 +181,9 @@ impl<F: FlowId> EdgeDataPlane<F> {
             Hierarchy::NonSampledLl
         };
         match h {
-            Hierarchy::HhCandidate => g.up_hh.insert(f),
-            Hierarchy::HlCandidate => g.up_hl.insert(f),
-            Hierarchy::SampledLl => g.up_ll.insert(f),
+            Hierarchy::HhCandidate => g.up_hh.insert_keyed(f, key),
+            Hierarchy::HlCandidate => g.up_hl.insert_keyed(f, key),
+            Hierarchy::SampledLl => g.up_ll.insert_keyed(f, key),
             Hierarchy::NonSampledLl => {}
         }
         h
@@ -167,11 +193,65 @@ impl<F: FlowId> EdgeDataPlane<F> {
     /// HH candidates are encoded into the **downstream HL encoder**
     /// (§3.2.3: "packets of HH candidates are also encoded into the
     /// downstream HL encoder").
+    #[inline]
     pub fn on_egress(&mut self, f: &F, ts: u8, h: Hierarchy) {
+        self.on_egress_burst(f, ts, h, 1);
+    }
+
+    /// Classifies and encodes a **burst** of `n` consecutive packets of
+    /// flow `f` entering the network here — the batched form of
+    /// [`on_ingress`](Self::on_ingress), with identical resulting sketch
+    /// state (see [`TowerSketch::insert_burst`]).
+    ///
+    /// Returns the burst's hierarchy segments **in packet order** (the
+    /// classifier size is non-decreasing within a burst, so a burst always
+    /// splits LL → HL → HH); segments with zero packets are included so the
+    /// caller can index positionally. The egress switch replays the
+    /// segments through [`on_egress_burst`](Self::on_egress_burst) with its
+    /// delivered counts.
+    pub fn on_ingress_burst(&mut self, f: &F, ts: u8, n: u64) -> [(Hierarchy, u64); 3] {
+        let key = f.key64();
+        let sample16 = self.sample_hash.sample16(key) as u32;
+        let g = self.group_mut(ts);
+        let rt = &g.runtime;
+        let (th, tl, sampled) = (rt.th, rt.tl, sample16 < rt.sample_threshold);
+        let (n_ll, n_hl, n_hh) = g.classifier.insert_burst(key, n, tl, th);
+        if n_hh > 0 {
+            g.up_hh.insert_weighted_keyed(f, key, n_hh as i64);
+        }
+        if n_hl > 0 {
+            g.up_hl.insert_weighted_keyed(f, key, n_hl as i64);
+        }
+        let ll_tag = if sampled {
+            if n_ll > 0 {
+                g.up_ll.insert_weighted_keyed(f, key, n_ll as i64);
+            }
+            Hierarchy::SampledLl
+        } else {
+            Hierarchy::NonSampledLl
+        };
+        [
+            (ll_tag, n_ll),
+            (Hierarchy::HlCandidate, n_hl),
+            (Hierarchy::HhCandidate, n_hh),
+        ]
+    }
+
+    /// Encodes `delivered` packets of one hierarchy segment exiting the
+    /// network here — the batched form of [`on_egress`](Self::on_egress).
+    #[inline]
+    pub fn on_egress_burst(&mut self, f: &F, ts: u8, h: Hierarchy, delivered: u64) {
+        if delivered == 0 {
+            return;
+        }
         let g = self.group_mut(ts);
         match h {
-            Hierarchy::HhCandidate | Hierarchy::HlCandidate => g.down_hl.insert(f),
-            Hierarchy::SampledLl => g.down_ll.insert(f),
+            Hierarchy::HhCandidate | Hierarchy::HlCandidate => {
+                g.down_hl.insert_weighted_keyed(f, f.key64(), delivered as i64)
+            }
+            Hierarchy::SampledLl => {
+                g.down_ll.insert_weighted_keyed(f, f.key64(), delivered as i64)
+            }
             Hierarchy::NonSampledLl => {}
         }
     }
@@ -184,9 +264,22 @@ impl<F: FlowId> EdgeDataPlane<F> {
     }
 
     /// Collects (snapshots) the group that monitored epochs with timestamp
-    /// `ts` — called by the controller right after that epoch ends.
+    /// `ts` by **cloning** — the inspection-friendly path for tests and
+    /// offline analysis. The epoch pipeline uses the zero-clone
+    /// [`take_group`](Self::take_group) instead.
     pub fn collect_group(&self, ts: u8) -> CollectedGroup<F> {
         self.group(ts).clone()
+    }
+
+    /// Hands the controller **ownership** of the group that monitored
+    /// timestamp `ts`, leaving a zero-memory tombstone in its place — no
+    /// sketch is copied. The caller must [`flip`](Self::flip) before traffic
+    /// with this timestamp bit arrives again (inserting into the tombstone
+    /// panics).
+    pub fn take_group(&mut self, ts: u8) -> CollectedGroup<F> {
+        let slot = (ts & 1) as usize;
+        let rt = self.groups[slot].runtime;
+        std::mem::replace(&mut self.groups[slot], SketchGroup::tombstone(&self.cfg, rt))
     }
 
     /// Epoch flip: the group that monitored timestamp `ended_ts` has been
@@ -195,19 +288,25 @@ impl<F: FlowId> EdgeDataPlane<F> {
     /// reset at the previous flip) and begins monitoring the next epoch
     /// right now, which is exactly when the paper's updated table entries
     /// (matching the next timestamp value) start functioning (§4.3, §D.2).
+    ///
+    /// Allocation discipline: the ended slot (collected, or a
+    /// [`take_group`](Self::take_group) tombstone) is always rebuilt; the
+    /// idle group — already empty — is rebuilt only when the staged runtime
+    /// actually changed, so a steady-state epoch rotates with a single
+    /// group construction instead of the two rebuilds plus a deep snapshot
+    /// clone of earlier revisions.
     pub fn flip(&mut self, ended_ts: u8) {
-        let rt = self
-            .pending
-            .take()
-            .unwrap_or_else(|| self.group(ended_ts).runtime.clone());
+        let rt = self.pending.take().unwrap_or(self.group(ended_ts).runtime);
         let ended = (ended_ts & 1) as usize;
         let other = 1 - ended;
         debug_assert!(
-            self.groups[other].up_hh.is_zero() && self.groups[other].up_hl.is_zero(),
+            self.groups[other].is_upstream_empty(),
             "the idle group must be empty at the flip"
         );
-        self.groups[ended] = SketchGroup::new(&self.cfg, rt.clone());
-        self.groups[other] = SketchGroup::new(&self.cfg, rt);
+        self.groups[ended] = SketchGroup::new(&self.cfg, rt);
+        if self.groups[other].runtime != rt {
+            self.groups[other] = SketchGroup::new(&self.cfg, rt);
+        }
     }
 }
 
@@ -317,6 +416,97 @@ mod tests {
         // The idle group starts monitoring the next epoch under the new
         // configuration too (next-epoch semantics, §4.3).
         assert_eq!(d.group(1).runtime.th, 77);
+    }
+
+    #[test]
+    fn burst_ingress_is_equivalent_to_per_packet() {
+        // The burst path must leave the data plane in exactly the state the
+        // per-packet path produces, for every threshold regime.
+        let cfg = DataPlaneConfig::small(11);
+        for (th, tl, sample_threshold) in
+            [(1u64, 1u64, 65_536u32), (10, 3, 65_536), (10, 3, 0), (100, 100, 20_000)]
+        {
+            let mut rt = RuntimeConfig::initial(&cfg);
+            rt.partition = Partition { m_hh: 128, m_hl: 320, m_ll: 64 };
+            rt.th = th;
+            rt.tl = tl;
+            rt.sample_threshold = sample_threshold;
+            let mut per_packet = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
+            let mut burst = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
+            for round in 0..40u32 {
+                for f in 0..25u32 {
+                    let n = 1 + ((f as u64 + round as u64) % 9);
+                    let mut tags = Vec::new();
+                    for _ in 0..n {
+                        tags.push(per_packet.on_ingress(&f, 0));
+                    }
+                    let segs = burst.on_ingress_burst(&f, 0, n);
+                    // Segment view must match the per-packet tag sequence.
+                    let flat: Vec<Hierarchy> = segs
+                        .iter()
+                        .flat_map(|&(h, c)| std::iter::repeat_n(h, c as usize))
+                        .collect();
+                    assert_eq!(tags, flat, "f={f} n={n} th={th} tl={tl}");
+                    // Egress: drop the first packet of each burst.
+                    for (i, &h) in tags.iter().enumerate() {
+                        if i > 0 {
+                            per_packet.on_egress(&f, 0, h);
+                        }
+                    }
+                    let mut pos = 0u64;
+                    for &(h, c) in &segs {
+                        let dropped = u64::from(pos == 0 && c > 0);
+                        burst.on_egress_burst(&f, 0, h, c - dropped);
+                        pos += c;
+                    }
+                }
+            }
+            let (a, b) = (per_packet.group(0), burst.group(0));
+            assert_eq!(a.classifier, b.classifier, "classifier th={th} tl={tl}");
+            assert_eq!(a.up_hh, b.up_hh, "up_hh");
+            assert_eq!(a.up_hl, b.up_hl, "up_hl");
+            assert_eq!(a.up_ll, b.up_ll, "up_ll");
+            assert_eq!(a.down_hl, b.down_hl, "down_hl");
+            assert_eq!(a.down_ll, b.down_ll, "down_ll");
+        }
+    }
+
+    #[test]
+    fn take_group_hands_over_ownership_without_copying() {
+        let mut d = dp(9);
+        d.on_ingress(&5, 0);
+        let taken = d.take_group(0);
+        assert_eq!(taken.up_hh.decode().flows.get(&5), Some(&1));
+        // The tombstone left behind holds nothing and has zero encoder
+        // memory; the flip rebuilds a real group.
+        assert!(d.group(0).up_hh.is_zero());
+        assert_eq!(d.group(0).up_hh.config().buckets_per_array, 0);
+        d.flip(0);
+        assert!(d.group(0).up_hh.config().buckets_per_array > 0);
+        let h = d.on_ingress(&6, 0);
+        assert_eq!(h, Hierarchy::HhCandidate);
+    }
+
+    #[test]
+    fn take_then_flip_matches_collect_then_flip() {
+        // The zero-clone path must be observationally identical to the
+        // cloning path.
+        let mut a = dp(10);
+        let mut b = dp(10);
+        for f in 0..50u32 {
+            a.on_ingress(&f, 0);
+            b.on_ingress(&f, 0);
+        }
+        let via_take = a.take_group(0);
+        let via_clone = b.collect_group(0);
+        assert_eq!(
+            via_take.up_hh.decode().flows,
+            via_clone.up_hh.decode().flows
+        );
+        a.flip(0);
+        b.flip(0);
+        assert_eq!(a.group(0).runtime, b.group(0).runtime);
+        assert!(a.group(0).up_hh.is_zero() && b.group(0).up_hh.is_zero());
     }
 
     #[test]

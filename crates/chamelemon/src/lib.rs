@@ -51,7 +51,7 @@ pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
 pub use control::{Controller, EpochAnalysis, NetworkState};
 pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
 
-use chm_netsim::{EdgeHooks, FatTree, SimConfig, Simulator};
+use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
 use chm_netsim::sim::{EpochReport, Routable};
 use chm_workloads::{LossPlan, Trace};
 
@@ -98,6 +98,19 @@ impl<F: chm_common::FlowId> EdgeHooks<F> for EdgeArray<'_, F> {
     }
 }
 
+impl<F: chm_common::FlowId> BurstHooks<F> for EdgeArray<'_, F> {
+    fn on_ingress_burst(&mut self, edge: usize, f: &F, ts_bit: u8, pkts: u64)
+        -> [(u8, u64); 3] {
+        self.0[edge]
+            .on_ingress_burst(f, ts_bit, pkts)
+            .map(|(h, n)| (h.to_tag(), n))
+    }
+
+    fn on_egress_burst(&mut self, edge: usize, f: &F, ts_bit: u8, tag: u8, delivered: u64) {
+        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
+    }
+}
+
 impl<F: chm_common::FlowId> ChameleMon<F> {
     /// Builds a deployment over the §5.2 testbed fat-tree (4 edge switches).
     pub fn testbed(cfg: DataPlaneConfig) -> Self {
@@ -108,7 +121,7 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
     pub fn new(cfg: DataPlaneConfig, topology: FatTree, sim: SimConfig) -> Self {
         let runtime = RuntimeConfig::initial(&cfg);
         let edges = (0..topology.n_edge)
-            .map(|_| EdgeDataPlane::new(cfg.clone(), runtime.clone()))
+            .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
             .collect();
         ChameleMon {
             edges,
@@ -118,22 +131,25 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
     }
 
     /// Runs one full epoch: replay the trace with losses, flip the epoch
-    /// timestamp, collect the finished sketch group from every edge,
-    /// analyze, reconfigure (effective next epoch), and install the new
-    /// runtime configuration.
+    /// timestamp, take ownership of the finished sketch group from every
+    /// edge (zero-clone collection), analyze, reconfigure (effective next
+    /// epoch), and install the new runtime configuration.
     pub fn run_epoch(&mut self, trace: &Trace<F>, plan: &LossPlan<F>) -> EpochOutcome<F>
     where
         F: Routable,
     {
-        let config_in_effect = self.controller.deployed_runtime().clone();
+        let config_in_effect = *self.controller.deployed_runtime();
         let report = {
             let mut hooks = EdgeArray(&mut self.edges);
-            self.simulator.run_epoch(trace, plan, &mut hooks)
+            // Burst replay: one hook call per flow, sketch state identical
+            // to the per-packet path (see `TowerSketch::insert_burst`).
+            self.simulator.run_epoch_burst(trace, plan, &mut hooks)
         };
         let ts_bit = (report.epoch & 1) as u8;
-        // Epoch ended: collect the group that monitored it.
+        // Epoch ended: the controller takes the monitoring groups whole —
+        // `mem::replace` hands it owned snapshots, nothing is copied.
         let collected: Vec<CollectedGroup<F>> =
-            self.edges.iter().map(|e| e.collect_group(ts_bit)).collect();
+            self.edges.iter_mut().map(|e| e.take_group(ts_bit)).collect();
         let t0 = std::time::Instant::now();
         let analysis = self.controller.analyze_epoch(&collected);
         let new_runtime = self.controller.reconfigure(&analysis);
@@ -141,7 +157,7 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
         // The reconfiguration functions in the *next* epoch (§4.3): stage it
         // on every edge; the flip below swaps groups and applies it.
         for e in &mut self.edges {
-            e.stage_runtime(new_runtime.clone());
+            e.stage_runtime(new_runtime);
             e.flip(ts_bit);
         }
         EpochOutcome {

@@ -208,7 +208,7 @@ mod tests {
     fn zero_partitions_cost_less() {
         let cfg = DataPlaneConfig::paper_default(6);
         let healthy = RuntimeConfig::initial(&cfg); // m_ll = 0
-        let mut ill = healthy.clone();
+        let mut ill = healthy;
         ill.partition = cfg.ill_partition;
         ill.tl = 2;
         let t_healthy = reconfiguration_time_ms(&cfg, &healthy, 9);

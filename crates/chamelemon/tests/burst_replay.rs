@@ -1,0 +1,81 @@
+//! The burst replay (`Simulator::run_epoch_burst`) must be observationally
+//! identical to the per-packet replay (`Simulator::run_epoch`): same epoch
+//! report, same sketch state on every edge switch — the batching is purely
+//! a speed optimization.
+
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::dataplane::{EdgeDataPlane, Hierarchy};
+use chamelemon::RuntimeConfig;
+use chm_common::FiveTuple;
+use chm_netsim::sim::{BurstHooks, EdgeHooks};
+use chm_netsim::{FatTree, SimConfig, Simulator};
+use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+
+struct Edges(Vec<EdgeDataPlane<FiveTuple>>);
+
+impl EdgeHooks<FiveTuple> for Edges {
+    fn on_ingress(&mut self, edge: usize, f: &FiveTuple, ts: u8) -> u8 {
+        self.0[edge].on_ingress(f, ts).to_tag()
+    }
+    fn on_egress(&mut self, edge: usize, f: &FiveTuple, ts: u8, tag: u8) {
+        self.0[edge].on_egress(f, ts, Hierarchy::from_tag(tag));
+    }
+}
+
+impl BurstHooks<FiveTuple> for Edges {
+    fn on_ingress_burst(&mut self, edge: usize, f: &FiveTuple, ts: u8, pkts: u64)
+        -> [(u8, u64); 3] {
+        self.0[edge]
+            .on_ingress_burst(f, ts, pkts)
+            .map(|(h, n)| (h.to_tag(), n))
+    }
+    fn on_egress_burst(&mut self, edge: usize, f: &FiveTuple, ts: u8, tag: u8, delivered: u64) {
+        self.0[edge].on_egress_burst(f, ts, Hierarchy::from_tag(tag), delivered);
+    }
+}
+
+fn edges(cfg: &DataPlaneConfig, rt: &RuntimeConfig, n: usize) -> Edges {
+    Edges((0..n).map(|_| EdgeDataPlane::new(cfg.clone(), *rt)).collect())
+}
+
+#[test]
+fn burst_replay_is_byte_identical_to_per_packet_replay() {
+    let topo = FatTree::testbed();
+    let n_edges = topo.n_edge;
+    let cfg = DataPlaneConfig::small(0xb0b0);
+    // Exercise every hierarchy: thresholds that split flows across LL/HL/HH
+    // and a sample rate below 1.
+    let mut rt = RuntimeConfig::initial(&cfg);
+    rt.partition = chamelemon::Partition { m_hh: 256, m_hl: 192, m_ll: 64 };
+    rt.th = 12;
+    rt.tl = 4;
+    rt.sample_threshold = 30_000;
+
+    let trace = testbed_trace(WorkloadKind::Dctcp, 1_500, 8, 0x5151);
+    let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.15), 0.05, 0x7272);
+
+    let mut per_packet = edges(&cfg, &rt, n_edges);
+    let mut burst = edges(&cfg, &rt, n_edges);
+    let mut sim_a = Simulator::new(topo.clone(), SimConfig::default());
+    let mut sim_b = Simulator::new(topo, SimConfig::default());
+
+    for _ in 0..2 {
+        let ra = sim_a.run_epoch(&trace, &plan, &mut per_packet);
+        let rb = sim_b.run_epoch_burst(&trace, &plan, &mut burst);
+        assert_eq!(ra.delivered, rb.delivered);
+        assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ra.epoch, rb.epoch);
+    }
+
+    for (e, (a, b)) in per_packet.0.iter().zip(&burst.0).enumerate() {
+        for ts in 0..2u8 {
+            let (ga, gb) = (a.group(ts), b.group(ts));
+            assert_eq!(ga.classifier, gb.classifier, "edge {e} ts {ts} classifier");
+            assert_eq!(ga.up_hh, gb.up_hh, "edge {e} ts {ts} up_hh");
+            assert_eq!(ga.up_hl, gb.up_hl, "edge {e} ts {ts} up_hl");
+            assert_eq!(ga.up_ll, gb.up_ll, "edge {e} ts {ts} up_ll");
+            assert_eq!(ga.down_hl, gb.down_hl, "edge {e} ts {ts} down_hl");
+            assert_eq!(ga.down_ll, gb.down_ll, "edge {e} ts {ts} down_ll");
+        }
+    }
+}

@@ -20,7 +20,7 @@ fn run_with_in_flight(
 ) -> (usize /* reported victims */, usize /* true victims */) {
     let cfg = DataPlaneConfig::small(77);
     let rt = RuntimeConfig::initial(&cfg);
-    let mut ingress = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    let mut ingress = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
     let mut egress = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
 
     // 300 flows × 4 packets; flows 0..5 really lose one packet each.

@@ -12,7 +12,7 @@ fn run_switch(
     rt: &RuntimeConfig,
     flows: &[(u32, u64, u64)], // (flow, packets, lost)
 ) -> CollectedGroup<u32> {
-    let mut dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    let mut dp = EdgeDataPlane::<u32>::new(cfg.clone(), *rt);
     for &(f, pkts, lost) in flows {
         for i in 0..pkts {
             let h = dp.on_ingress(&f, 0);
@@ -165,8 +165,8 @@ fn multi_switch_cross_traffic_decodes_losses() {
     // upstream/downstream construction must still isolate the victims.
     let cfg = DataPlaneConfig::small(6);
     let rt = RuntimeConfig::initial(&cfg);
-    let mut in_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
-    let mut out_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt.clone());
+    let mut in_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
+    let mut out_dp = EdgeDataPlane::<u32>::new(cfg.clone(), rt);
     for f in 0..200u32 {
         let lost = u64::from(f % 20 == 0);
         for i in 0..5u64 {

@@ -3,13 +3,69 @@
 //! Every sketch in the paper associates each counter/bucket array with a
 //! pairwise-independent hash function (§3.1, §3.2.1). On Tofino these are CRC
 //! units with distinct polynomials; in software we use the textbook
-//! construction `h(x) = ((a·x + b) mod p) mod m` over the Mersenne prime
-//! `p = 2^61 − 1`, with `(a, b)` drawn deterministically from a seed so that
-//! upstream and downstream encoders (on *different* switches) can share the
-//! exact same functions — a correctness requirement for FermatSketch
+//! construction `h(x) = ((a·x + b) mod p) >>fastrange>> m` over the Mersenne
+//! prime `p = 2^61 − 1`, with `(a, b)` drawn deterministically from a seed so
+//! that upstream and downstream encoders (on *different* switches) can share
+//! the exact same functions — a correctness requirement for FermatSketch
 //! addition/subtraction (§3.1).
+//!
+//! # The per-packet fast path
+//!
+//! Two things make the software hash hardware-speed:
+//!
+//! * [`FastRange`] — Lemire's multiply-shift range reduction specialized to
+//!   the 61-bit hash domain: `index = (v · m) >> 61` replaces the `v % m`
+//!   integer division (20–40 cycles on most cores) with one widening
+//!   multiply and a shift, and is completely branch-free. Sketches
+//!   precompute one `FastRange` per bucket array.
+//! * [`BatchHasher`] — mixes a flow key through SplitMix64 **once** and
+//!   derives every per-array/per-lane value from the premixed word, instead
+//!   of re-running the mixer inside each of the `d` per-array hash calls.
+//!
+//! [`PairwiseHash::index_mod`] keeps the original `mod m` reduction as the
+//! reference implementation; property tests pin the fast path against it.
 
 use crate::prime::{mul_mod, reduce64, MERSENNE_P};
+
+/// Precomputed branch-free range reduction onto `[0, m)`.
+///
+/// For a hash value `v` uniform in `[0, p)` with `p = 2^61 − 1`, the Lemire
+/// fast-range index is `(v · m) >> 61`. Because `v ≤ p − 1 < 2^61`, the
+/// result is always `< m` without any conditional, and the mapping bias
+/// relative to a perfect `[0, m)` partition is `O(m / 2^61)` — negligible
+/// for every sketch geometry in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastRange {
+    m: u64,
+}
+
+impl FastRange {
+    /// Precomputes the reduction onto `[0, m)`.
+    #[inline]
+    pub const fn new(m: usize) -> Self {
+        FastRange { m: m as u64 }
+    }
+
+    /// The range size `m` this reduction maps onto.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.m as usize
+    }
+
+    /// True when the range is empty (`m == 0`); `reduce` then returns 0.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.m == 0
+    }
+
+    /// Maps a full-range hash value `v < 2^61` into `[0, m)` with one
+    /// widening multiply and one shift — no division, no branch.
+    #[inline]
+    pub const fn reduce(self, v: u64) -> usize {
+        debug_assert!(v < MERSENNE_P);
+        ((v as u128 * self.m as u128) >> 61) as usize
+    }
+}
 
 /// SplitMix64 finalizer: a fast, high-quality 64-bit mixer.
 ///
@@ -49,18 +105,34 @@ impl PairwiseHash {
         PairwiseHash { a, b }
     }
 
-    /// Hashes a pre-mixed 64-bit key into `[0, m)`.
+    /// Hashes a 64-bit key into `[0, m)` via the branch-free
+    /// [`FastRange`] reduction.
     #[inline]
     pub fn index(&self, key: u64, m: usize) -> usize {
         debug_assert!(m > 0);
-        let v = self.raw(key);
-        (v % m as u64) as usize
+        FastRange::new(m).reduce(self.raw(key))
+    }
+
+    /// The original `mod m` range reduction, kept as the reference
+    /// implementation for the fast-range property tests and the
+    /// `chm-bench perf` legacy baseline. Semantically a valid index
+    /// function, but pays a 64-bit integer division per call.
+    #[inline]
+    pub fn index_mod(&self, key: u64, m: usize) -> usize {
+        debug_assert!(m > 0);
+        (self.raw(key) % m as u64) as usize
     }
 
     /// The full-range hash value in `[0, p)` before range reduction.
     #[inline]
     pub fn raw(&self, key: u64) -> u64 {
-        let x = reduce64(mix64(key));
+        self.raw_premixed(reduce64(mix64(key)))
+    }
+
+    /// Like [`raw`](Self::raw) but for a key already mixed and reduced into
+    /// `[0, p)` — the per-array step [`BatchHasher`] amortizes over.
+    #[inline]
+    pub fn raw_premixed(&self, x: u64) -> u64 {
         let ax = mul_mod(self.a, x);
         let s = ax + self.b; // < 2^62
         if s >= MERSENNE_P {
@@ -78,12 +150,61 @@ impl PairwiseHash {
     }
 }
 
+/// One flow key, mixed once, ready to be hashed by many functions.
+///
+/// The per-packet hot path of every sketch evaluates `d` (or `l`) hash
+/// functions of the *same* key. The naive loop re-runs the SplitMix64
+/// finalizer inside every call; `BatchHasher` hoists that work out:
+///
+/// ```
+/// use chm_common::hash::{BatchHasher, FastRange, HashFamily};
+///
+/// let fam = HashFamily::new(7, 3);
+/// let reducer = FastRange::new(1024);
+/// let bh = BatchHasher::new(0xfeed_f00d);
+/// for h in fam.as_slice() {
+///     let j = bh.index(h, reducer);
+///     assert!(j < 1024);
+///     // identical to the unbatched path:
+///     assert_eq!(j, h.index(0xfeed_f00d, 1024));
+/// }
+/// ```
+///
+/// Every derived value is bit-identical to the unbatched
+/// [`PairwiseHash::raw`]/[`PairwiseHash::index`] results, so batched and
+/// unbatched encoders stay addable/subtractable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchHasher {
+    /// `reduce64(mix64(key))` — the premixed key in `[0, p)`.
+    x: u64,
+}
+
+impl BatchHasher {
+    /// Mixes `key` once.
+    #[inline]
+    pub fn new(key: u64) -> Self {
+        BatchHasher { x: reduce64(mix64(key)) }
+    }
+
+    /// The full-range value of hash function `h` for this key.
+    #[inline]
+    pub fn raw(&self, h: &PairwiseHash) -> u64 {
+        h.raw_premixed(self.x)
+    }
+
+    /// The bucket index of hash function `h` under reduction `r`.
+    #[inline]
+    pub fn index(&self, h: &PairwiseHash, r: FastRange) -> usize {
+        r.reduce(self.raw(h))
+    }
+}
+
 /// A family of `d` independent hash functions sharing a master seed.
 ///
 /// Sketches that need one function per array (`d` bucket arrays in
 /// FermatSketch, `l` counter arrays in TowerSketch) construct a family so the
 /// per-array seeds are reproducible and decorrelated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HashFamily {
     fns: Vec<PairwiseHash>,
     master_seed: u64,
@@ -112,6 +233,13 @@ impl HashFamily {
     #[inline]
     pub fn get(&self, i: usize) -> &PairwiseHash {
         &self.fns[i]
+    }
+
+    /// All functions as a slice — the hot loops iterate this together with a
+    /// [`BatchHasher`] so the key is mixed once for the whole family.
+    #[inline]
+    pub fn as_slice(&self) -> &[PairwiseHash] {
+        &self.fns
     }
 
     /// The master seed the family was derived from (for config echo).
@@ -181,6 +309,79 @@ mod tests {
             .filter(|&k| fam.index(0, k, m) != fam.index(1, k, m))
             .count();
         assert!(disagreements > 990, "only {disagreements} disagreements");
+    }
+
+    #[test]
+    fn fast_range_stays_in_bounds() {
+        for m in [1usize, 2, 3, 5, 1000, 4096, 1 << 20] {
+            let r = FastRange::new(m);
+            assert_eq!(r.len(), m);
+            assert_eq!(r.reduce(0), 0);
+            assert!(r.reduce(MERSENNE_P - 1) < m, "m={m}");
+            for v in (0..MERSENNE_P).step_by((MERSENNE_P / 257) as usize) {
+                assert!(r.reduce(v) < m, "v={v} m={m}");
+            }
+        }
+        assert!(FastRange::new(0).is_empty());
+    }
+
+    #[test]
+    fn fast_range_is_monotone_partition() {
+        // fastrange is order-preserving: v1 <= v2 => reduce(v1) <= reduce(v2),
+        // so it partitions [0, p) into m contiguous intervals.
+        let r = FastRange::new(37);
+        let mut prev = 0;
+        for v in (0..MERSENNE_P).step_by((MERSENNE_P / 1009) as usize) {
+            let j = r.reduce(v);
+            assert!(j >= prev);
+            prev = j;
+        }
+    }
+
+    #[test]
+    fn fast_range_distribution_is_roughly_uniform() {
+        let h = PairwiseHash::from_seed(77);
+        let m = 64;
+        let n = 64_000u64;
+        let mut counts = vec![0u32; m];
+        for key in 0..n {
+            counts[h.index(key, m)] += 1;
+        }
+        let expect = (n as usize / m) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.25, "bin {i} count {c} deviates {dev:.2} from {expect}");
+        }
+    }
+
+    #[test]
+    fn index_mod_reference_stays_in_range_and_uniform() {
+        let h = PairwiseHash::from_seed(13);
+        let m = 48;
+        let mut counts = vec![0u32; m];
+        for key in 0..48_000u64 {
+            let j = h.index_mod(key, m);
+            assert!(j < m);
+            counts[j] += 1;
+        }
+        let expect = 1000.0;
+        for &c in &counts {
+            assert!((c as f64 - expect).abs() / expect < 0.25);
+        }
+    }
+
+    #[test]
+    fn batch_hasher_matches_unbatched_path() {
+        let fam = HashFamily::new(0xbeef, 5);
+        for key in (0..5_000u64).map(mix64) {
+            let bh = BatchHasher::new(key);
+            for (i, h) in fam.as_slice().iter().enumerate() {
+                assert_eq!(bh.raw(h), h.raw(key));
+                for m in [3usize, 100, 4096] {
+                    assert_eq!(bh.index(h, FastRange::new(m)), fam.index(i, key, m));
+                }
+            }
+        }
     }
 
     #[test]

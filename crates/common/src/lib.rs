@@ -25,5 +25,5 @@ pub mod metrics;
 pub mod prime;
 
 pub use flowid::{FiveTuple, FlowId};
-pub use hash::{mix64, HashFamily, PairwiseHash};
+pub use hash::{mix64, BatchHasher, FastRange, HashFamily, PairwiseHash};
 pub use prime::{add_mod, inv_mod, mul_mod, pow_mod, sub_mod, MERSENNE_P};

@@ -25,20 +25,27 @@ pub fn reduce64(x: u64) -> u64 {
 }
 
 /// Reduces a 128-bit product modulo `p = 2^61 − 1`.
+///
+/// Split into three 61-bit limbs (each limb weight is ≡ 1 mod p), summed in
+/// pure 64-bit arithmetic: the limb extraction works on the two 64-bit
+/// halves directly and the limb sum fits a `u64` (`≤ 2·(2^61−1) + 2^6`), so
+/// no 128-bit add/compare chains survive into the hot loop. One fold plus a
+/// single conditional subtraction finishes the reduction.
 #[inline]
 pub fn reduce128(x: u128) -> u64 {
-    // Split into three 61-bit limbs; each limb weight is ≡ 1 (mod p).
-    let lo = (x & MERSENNE_P as u128) as u64;
-    let mid = ((x >> 61) & MERSENNE_P as u128) as u64;
-    let hi = (x >> 122) as u64; // < 2^6
-    let mut r = lo as u128 + mid as u128 + hi as u128;
-    if r >= MERSENNE_P as u128 {
-        r -= MERSENNE_P as u128;
+    let xl = x as u64;
+    let xh = (x >> 64) as u64;
+    let lo = xl & MERSENNE_P;
+    // Bits 61..122 of x: the top 3 bits of xl and the low 58 bits of xh.
+    let mid = ((xl >> 61) | (xh << 3)) & MERSENNE_P;
+    let hi = xh >> 58; // bits 122.. — < 2^6
+    let r = lo + mid + hi; // < 2^63: no overflow
+    let r = (r & MERSENNE_P) + (r >> 61); // ≤ (2^61 − 1) + 2
+    if r >= MERSENNE_P {
+        r - MERSENNE_P
+    } else {
+        r
     }
-    if r >= MERSENNE_P as u128 {
-        r -= MERSENNE_P as u128;
-    }
-    r as u64
 }
 
 /// Modular addition: `(a + b) mod p`.
@@ -85,16 +92,40 @@ pub fn pow_mod(mut b: u64, mut e: u64) -> u64 {
     acc
 }
 
+/// Size of the precomputed small-inverse table: covers every bucket count
+/// a realistically loaded sketch sees during peeling.
+const SMALL_INV: usize = 4096;
+
+/// Lazily built table of `a^(p−2) mod p` for `a in 1..SMALL_INV`.
+fn small_inv_table() -> &'static [u64; SMALL_INV] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[u64; SMALL_INV]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([0u64; SMALL_INV]);
+        for (a, slot) in t.iter_mut().enumerate().skip(1) {
+            *slot = pow_mod(a as u64, MERSENNE_P - 2);
+        }
+        t
+    })
+}
+
 /// Modular inverse via Fermat's little theorem: `a^(p−2) mod p`.
 ///
 /// This is exactly the operation FermatSketch's pure-bucket verification
 /// performs to recover a flow ID from `(count, IDsum)`:
 /// `f' = IDsum · count^(p−2) mod p` (§3.1, Algorithm 2). Returns `None`
 /// for `a ≡ 0 (mod p)`, which has no inverse.
+///
+/// Decoding runs this once per peel attempt, and bucket counts are small
+/// (packet counts), so inverses of `a < 4096` come from a precomputed
+/// table instead of the 61-squaring exponentiation ladder.
 pub fn inv_mod(a: u64) -> Option<u64> {
     let a = reduce64(a);
     if a == 0 {
         return None;
+    }
+    if a < SMALL_INV as u64 {
+        return Some(small_inv_table()[a as usize]);
     }
     Some(pow_mod(a, MERSENNE_P - 2))
 }

@@ -23,7 +23,7 @@
 //! succeeds w.h.p. once buckets ≥ 1.23·M (Theorem 3.1).
 
 use chm_common::flowid::{FlowId, MAX_FRAGMENTS};
-use chm_common::hash::{HashFamily, PairwiseHash};
+use chm_common::hash::{BatchHasher, FastRange, HashFamily, PairwiseHash};
 use chm_common::prime::{add_mod, inv_mod, mul_mod, signed_to_mod, sub_mod};
 use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
@@ -121,11 +121,17 @@ impl<F> DecodeResult<F> {
 }
 
 /// The FermatSketch data structure (Figure 2).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full bucket state — two sketches are equal iff
+/// every counter, IDsum lane and fingerprint lane matches (used by the
+/// burst-vs-per-packet equivalence tests).
+#[derive(Debug, Clone, PartialEq)]
 pub struct FermatSketch<F: FlowId> {
     cfg: FermatConfig,
     hashes: HashFamily,
     fp_hash: PairwiseHash,
+    /// Precomputed branch-free range reduction onto `[0, buckets_per_array)`.
+    reducer: FastRange,
     /// Signed packet counts, `arrays × buckets` flattened row-major.
     counts: Vec<i64>,
     /// IDsum lanes mod p, `arrays × buckets × F::FRAGMENTS` flattened.
@@ -150,6 +156,7 @@ impl<F: FlowId> FermatSketch<F> {
             cfg,
             hashes: HashFamily::new(cfg.seed, cfg.arrays),
             fp_hash: PairwiseHash::from_seed(cfg.seed ^ 0xf19e_0fae_57a1_1ed5),
+            reducer: FastRange::new(cfg.buckets_per_array),
             counts: vec![0; n],
             idsums: vec![0; n * F::FRAGMENTS],
             fpsums: if cfg.fingerprint_bits > 0 { vec![0; n] } else { Vec::new() },
@@ -188,9 +195,9 @@ impl<F: FlowId> FermatSketch<F> {
     }
 
     #[inline]
-    fn fingerprint_of(&self, key: u64) -> u64 {
+    fn fingerprint_premixed(&self, bh: BatchHasher) -> u64 {
         debug_assert!(self.cfg.fingerprint_bits > 0);
-        self.fp_hash.raw(key) & ((1u64 << self.cfg.fingerprint_bits) - 1)
+        bh.raw(&self.fp_hash) & ((1u64 << self.cfg.fingerprint_bits) - 1)
     }
 
     /// Encodes one packet of flow `f` (Algorithm 1).
@@ -199,10 +206,33 @@ impl<F: FlowId> FermatSketch<F> {
         self.insert_weighted(f, 1);
     }
 
+    /// Like [`insert`](Self::insert) but with the flow's
+    /// [`key64`](FlowId::key64) supplied by the caller — the data plane
+    /// computes the key once per packet (sampler, classifier, encoder all
+    /// need it) instead of re-deriving it inside every sketch.
+    #[inline]
+    pub fn insert_keyed(&mut self, f: &F, key: u64) {
+        debug_assert_eq!(key, f.key64());
+        self.insert_weighted_keyed(f, key, 1);
+    }
+
     /// Encodes `weight` packets of flow `f` in one pass. Negative weights
     /// delete (used when the controller re-inserts decoded HH flows into the
     /// upstream HL encoder before subtraction, §4.2, and for tests).
+    ///
+    /// Hot path: the flow key is mixed **once** ([`BatchHasher`]); every
+    /// per-array index comes from the precomputed branch-free [`FastRange`]
+    /// reduction. No allocation, no division.
+    #[inline]
     pub fn insert_weighted(&mut self, f: &F, weight: i64) {
+        self.insert_weighted_keyed(f, f.key64(), weight);
+    }
+
+    /// [`insert_weighted`](Self::insert_weighted) with a caller-supplied
+    /// [`key64`](FlowId::key64).
+    #[inline]
+    pub fn insert_weighted_keyed(&mut self, f: &F, key: u64, weight: i64) {
+        debug_assert_eq!(key, f.key64());
         assert!(
             self.cfg.buckets_per_array > 0,
             "insert into a zero-memory FermatSketch partition"
@@ -210,20 +240,37 @@ impl<F: FlowId> FermatSketch<F> {
         if weight == 0 {
             return;
         }
-        let key = f.key64();
+        let bh = BatchHasher::new(key);
         let wmod = signed_to_mod(weight);
-        for i in 0..self.cfg.arrays {
-            let j = self.hashes.index(i, key, self.cfg.buckets_per_array);
-            let b = self.bucket_index(i, j);
+        // Per-lane weighted fragments are array-independent: compute once.
+        // The per-packet path has `weight == 1`, where the weighting is the
+        // identity — skip the 128-bit modular multiplies entirely
+        // (fragments are already `< p` by the FlowId contract).
+        let mut adds = [0u64; MAX_FRAGMENTS];
+        for (k, a) in adds.iter_mut().enumerate().take(F::FRAGMENTS) {
+            *a = if wmod == 1 { f.fragment(k) } else { mul_mod(wmod, f.fragment(k)) };
+        }
+        let fp_add = if self.cfg.fingerprint_bits > 0 {
+            let fpv = self.fingerprint_premixed(bh);
+            if wmod == 1 {
+                fpv
+            } else {
+                mul_mod(wmod, fpv)
+            }
+        } else {
+            0
+        };
+        let m = self.cfg.buckets_per_array;
+        for (i, h) in self.hashes.as_slice().iter().enumerate() {
+            let j = bh.index(h, self.reducer);
+            let b = i * m + j;
             self.counts[b] += weight;
-            for k in 0..F::FRAGMENTS {
+            for (k, &add) in adds.iter().enumerate().take(F::FRAGMENTS) {
                 let lane = b * F::FRAGMENTS + k;
-                let add = mul_mod(wmod, f.fragment(k));
                 self.idsums[lane] = add_mod(self.idsums[lane], add);
             }
             if self.cfg.fingerprint_bits > 0 {
-                let add = mul_mod(wmod, self.fingerprint_of(key));
-                self.fpsums[b] = add_mod(self.fpsums[b], add);
+                self.fpsums[b] = add_mod(self.fpsums[b], fp_add);
             }
         }
     }
@@ -291,65 +338,105 @@ impl<F: FlowId> FermatSketch<F> {
         -(m as f64) * ((zero as f64) / (m as f64)).ln()
     }
 
-    fn is_pure(&self, array: usize, slot: usize) -> Option<(F, i64)> {
-        let b = self.bucket_index(array, slot);
-        let count = self.counts[b];
-        let cmod = signed_to_mod(count);
-        if cmod == 0 {
-            return None;
-        }
-        let inv = inv_mod(cmod)?;
-        let mut frags = [0u64; MAX_FRAGMENTS];
-        for (k, frag) in frags.iter_mut().enumerate().take(F::FRAGMENTS) {
-            *frag = mul_mod(self.idsums[b * F::FRAGMENTS + k], inv);
-        }
-        let f = F::try_from_fragments(&frags[..F::FRAGMENTS])?;
-        let key = f.key64();
-        // Rehashing verification (§3.1): the candidate flow must map back to
-        // this very bucket under this array's hash function.
-        if self.hashes.index(array, key, self.cfg.buckets_per_array) != slot {
-            return None;
-        }
-        // Fingerprint verification (§A.4).
-        if self.cfg.fingerprint_bits > 0 {
-            let expect = mul_mod(cmod, self.fingerprint_of(key));
-            if self.fpsums[b] != expect {
-                return None;
-            }
-        }
-        Some((f, count))
-    }
-
-    /// Removes `count` packets of flow `f` from every mapped bucket
-    /// (single-flow extraction, §3.1).
-    fn extract(&mut self, f: &F, count: i64) {
-        let key = f.key64();
-        let cmod = signed_to_mod(count);
-        for i in 0..self.cfg.arrays {
-            let j = self.hashes.index(i, key, self.cfg.buckets_per_array);
-            let b = self.bucket_index(i, j);
-            self.counts[b] -= count;
-            for k in 0..F::FRAGMENTS {
-                let lane = b * F::FRAGMENTS + k;
-                let sub = mul_mod(cmod, f.fragment(k));
-                self.idsums[lane] = sub_mod(self.idsums[lane], sub);
-            }
-            if self.cfg.fingerprint_bits > 0 {
-                let sub = mul_mod(cmod, self.fingerprint_of(key));
-                self.fpsums[b] = sub_mod(self.fpsums[b], sub);
-            }
-        }
-    }
-
-    /// Decodes the sketch non-destructively (clones the bucket state, then
-    /// runs [`decode_in_place`](Self::decode_in_place) on the clone).
+    /// Decodes the sketch non-destructively.
+    ///
+    /// Unlike earlier revisions this **never clones the sketch**: peeling
+    /// runs against a scratch workspace ([`DecodeScratch`]) that shadows
+    /// only the touched bucket state. This convenience form allocates a
+    /// fresh scratch; epoch loops should hold one and call
+    /// [`decode_with`](Self::decode_with) to reuse the queue/flows/bucket
+    /// allocations across epochs.
     pub fn decode(&self) -> DecodeResult<F> {
-        self.clone().decode_in_place()
+        let mut scratch = DecodeScratch::new();
+        self.decode_with(&mut scratch)
     }
 
-    /// Decoding operation (Algorithm 2): repeatedly verify + peel pure
-    /// buckets via a work queue until no progress remains. Consumes the
-    /// bucket contents.
+    /// Decodes the sketch non-destructively, reusing `scratch`'s
+    /// allocations (peeling queue, flowset map, bucket shadow).
+    ///
+    /// Strategy is picked by occupancy: a sparsely loaded sketch (e.g. a
+    /// delta encoder holding few victims) peels through a hash-map overlay
+    /// of the touched buckets only; a loaded sketch copies its bucket state
+    /// into the scratch's reusable dense buffers (a memcpy, no allocation
+    /// after the first epoch). Both paths run the identical peel and return
+    /// bit-identical results.
+    pub fn decode_with(&self, scratch: &mut DecodeScratch<F>) -> DecodeResult<F> {
+        scratch.queue.clear();
+        let mut flows = std::mem::take(&mut scratch.flows);
+        flows.clear();
+        let m = self.cfg.buckets_per_array;
+        // Step 1: push all non-zero buckets.
+        let mut hot = 0usize;
+        for i in 0..self.cfg.arrays {
+            for j in 0..m {
+                if self.counts[i * m + j] != 0 {
+                    scratch.queue.push_back((i as u32, j as u32));
+                    hot += 1;
+                }
+            }
+        }
+        let total = self.cfg.total_buckets();
+        // ≤ 1/8 occupancy: the overlay touches far less memory than a full
+        // copy. Above that, the dense copy's linear memcpy wins.
+        if hot * 8 <= total {
+            let mut store = OverlayStore {
+                base_counts: &self.counts,
+                base_idsums: &self.idsums,
+                base_fpsums: &self.fpsums,
+                overlay: &mut scratch.overlay,
+                lanes: F::FRAGMENTS,
+            };
+            store.overlay.clear();
+            self.peel(&mut store, &mut scratch.queue, &mut flows);
+            // Remaining = non-zero buckets of the base state, adjusted by
+            // the overlay's touched buckets — a branchy-but-linear scan
+            // plus O(|overlay|), instead of a hash lookup per bucket.
+            let base_nonzero =
+                |b: usize| -> bool {
+                    self.counts[b] != 0
+                        || self.idsums[b * F::FRAGMENTS..(b + 1) * F::FRAGMENTS]
+                            .iter()
+                            .any(|&s| s != 0)
+                };
+            let mut remaining = count_remaining(&self.counts, &self.idsums, F::FRAGMENTS);
+            for (&b, o) in scratch.overlay.iter() {
+                let now = o.count != 0 || o.idsums[..F::FRAGMENTS].iter().any(|&s| s != 0);
+                match (base_nonzero(b), now) {
+                    (true, false) => remaining -= 1,
+                    (false, true) => remaining += 1,
+                    _ => {}
+                }
+            }
+            DecodeResult {
+                flows,
+                success: remaining == 0,
+                remaining_nonzero: remaining,
+            }
+        } else {
+            scratch.counts.clear();
+            scratch.counts.extend_from_slice(&self.counts);
+            scratch.idsums.clear();
+            scratch.idsums.extend_from_slice(&self.idsums);
+            scratch.fpsums.clear();
+            scratch.fpsums.extend_from_slice(&self.fpsums);
+            let mut store = DirectStore {
+                counts: &mut scratch.counts,
+                idsums: &mut scratch.idsums,
+                fpsums: &mut scratch.fpsums,
+                lanes: F::FRAGMENTS,
+            };
+            self.peel(&mut store, &mut scratch.queue, &mut flows);
+            let remaining = count_remaining(&scratch.counts, &scratch.idsums, F::FRAGMENTS);
+            DecodeResult {
+                flows,
+                success: remaining == 0,
+                remaining_nonzero: remaining,
+            }
+        }
+    }
+
+    /// Decoding operation (Algorithm 2) consuming the bucket contents —
+    /// the fastest path when the caller owns the sketch and is done with it.
     ///
     /// A work budget bounds the peeling: on overloaded sketches,
     /// false-positive extractions can otherwise cycle forever (a wrongly
@@ -358,58 +445,296 @@ impl<F: FlowId> FermatSketch<F> {
     /// which correctly reports decode failure.
     pub fn decode_in_place(mut self) -> DecodeResult<F> {
         let m = self.cfg.buckets_per_array;
-        let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+        let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
         // Step 1: push all non-zero buckets.
         for i in 0..self.cfg.arrays {
             for j in 0..m {
-                if self.counts[self.bucket_index(i, j)] != 0 {
-                    queue.push_back((i, j));
+                if self.counts[i * m + j] != 0 {
+                    queue.push_back((i as u32, j as u32));
                 }
             }
         }
-        let mut budget: u64 = 32 * (self.cfg.total_buckets() as u64 + 64);
         let mut flows: HashMap<F, i64> = HashMap::new();
-        while let Some((i, j)) = queue.pop_front() {
-            if budget == 0 {
-                break;
-            }
-            budget -= 1;
-            let b = self.bucket_index(i, j);
-            if self.counts[b] == 0
-                && (0..F::FRAGMENTS).all(|k| self.idsums[b * F::FRAGMENTS + k] == 0)
-            {
-                continue; // already drained by an earlier extraction
-            }
-            // Steps 3-4: pure-bucket verification + single-flow extraction.
-            let Some((f, count)) = self.is_pure(i, j) else {
-                continue;
-            };
-            self.extract(&f, count);
-            // Step 5: record in the Flowset.
-            *flows.entry(f).or_insert(0) += count;
-            // Step 6: requeue the other mapped buckets that are still hot.
-            let key = f.key64();
-            for i2 in 0..self.cfg.arrays {
-                let j2 = self.hashes.index(i2, key, m);
-                let b2 = self.bucket_index(i2, j2);
-                if self.counts[b2] != 0
-                    || (0..F::FRAGMENTS).any(|k| self.idsums[b2 * F::FRAGMENTS + k] != 0)
-                {
-                    queue.push_back((i2, j2));
-                }
-            }
-        }
-        // False-positive extraction pairs cancel to zero (§A.2); drop them.
-        flows.retain(|_, c| *c != 0);
-        let remaining = (0..self.cfg.arrays)
-            .map(|i| self.nonzero_in_array(i))
-            .sum::<usize>();
+        let mut store = DirectStore {
+            counts: &mut self.counts,
+            idsums: &mut self.idsums,
+            fpsums: &mut self.fpsums,
+            lanes: F::FRAGMENTS,
+        };
+        // Split borrows: peel needs cfg/hashes immutably, the store fields
+        // mutably — route through a free function taking both.
+        peel_impl(
+            &self.cfg,
+            &self.hashes,
+            &self.fp_hash,
+            self.reducer,
+            &mut store,
+            &mut queue,
+            &mut flows,
+        );
+        let remaining = count_remaining(&self.counts, &self.idsums, F::FRAGMENTS);
         DecodeResult {
             flows,
             success: remaining == 0,
             remaining_nonzero: remaining,
         }
     }
+
+    fn peel<S: BucketStore>(
+        &self,
+        store: &mut S,
+        queue: &mut VecDeque<(u32, u32)>,
+        flows: &mut HashMap<F, i64>,
+    ) {
+        peel_impl::<F, S>(
+            &self.cfg,
+            &self.hashes,
+            &self.fp_hash,
+            self.reducer,
+            store,
+            queue,
+            flows,
+        );
+    }
+}
+
+/// Reusable decode workspace: the peeling queue, the flowset accumulator,
+/// and a bucket shadow (sparse overlay or dense copy, chosen per decode).
+///
+/// Holding one of these across epochs makes [`FermatSketch::decode_with`]
+/// allocation-free in steady state — the controller decodes every epoch's
+/// encoders without cloning a single sketch.
+#[derive(Debug, Clone)]
+pub struct DecodeScratch<F: FlowId> {
+    queue: VecDeque<(u32, u32)>,
+    overlay: HashMap<usize, OverlayBucket>,
+    counts: Vec<i64>,
+    idsums: Vec<u64>,
+    fpsums: Vec<u64>,
+    flows: HashMap<F, i64>,
+}
+
+impl<F: FlowId> Default for DecodeScratch<F> {
+    fn default() -> Self {
+        DecodeScratch {
+            queue: VecDeque::new(),
+            overlay: HashMap::new(),
+            counts: Vec::new(),
+            idsums: Vec::new(),
+            fpsums: Vec::new(),
+            flows: HashMap::new(),
+        }
+    }
+}
+
+impl<F: FlowId> DecodeScratch<F> {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands a finished [`DecodeResult`]'s flowset allocation back to the
+    /// scratch so the next decode reuses its capacity. Purely an
+    /// optimization — dropping the result instead is always correct.
+    pub fn recycle(&mut self, result: DecodeResult<F>) {
+        if result.flows.capacity() > self.flows.capacity() {
+            self.flows = result.flows;
+        }
+    }
+}
+
+/// Shadow state of one touched bucket in the sparse overlay.
+#[derive(Debug, Clone, Copy)]
+struct OverlayBucket {
+    count: i64,
+    idsums: [u64; MAX_FRAGMENTS],
+    fpsum: u64,
+}
+
+/// Bucket state the peel reads and extracts from; implemented by the dense
+/// (owned/copied arrays) and sparse (overlay of touched buckets) stores.
+trait BucketStore {
+    fn count(&self, b: usize) -> i64;
+    fn idsum(&self, b: usize, k: usize) -> u64;
+    fn fpsum(&self, b: usize) -> u64;
+    /// Removes `count` packets of a flow with weighted fragment values
+    /// `subs` (and weighted fingerprint `fp_sub`) from bucket `b`.
+    fn extract(&mut self, b: usize, count: i64, subs: &[u64], fp_sub: Option<u64>);
+}
+
+struct DirectStore<'a> {
+    counts: &'a mut [i64],
+    idsums: &'a mut [u64],
+    fpsums: &'a mut [u64],
+    lanes: usize,
+}
+
+impl BucketStore for DirectStore<'_> {
+    #[inline]
+    fn count(&self, b: usize) -> i64 {
+        self.counts[b]
+    }
+    #[inline]
+    fn idsum(&self, b: usize, k: usize) -> u64 {
+        self.idsums[b * self.lanes + k]
+    }
+    #[inline]
+    fn fpsum(&self, b: usize) -> u64 {
+        self.fpsums[b]
+    }
+    #[inline]
+    fn extract(&mut self, b: usize, count: i64, subs: &[u64], fp_sub: Option<u64>) {
+        self.counts[b] -= count;
+        for (k, &sub) in subs.iter().enumerate() {
+            let lane = b * self.lanes + k;
+            self.idsums[lane] = sub_mod(self.idsums[lane], sub);
+        }
+        if let Some(fp) = fp_sub {
+            self.fpsums[b] = sub_mod(self.fpsums[b], fp);
+        }
+    }
+}
+
+struct OverlayStore<'a> {
+    base_counts: &'a [i64],
+    base_idsums: &'a [u64],
+    base_fpsums: &'a [u64],
+    overlay: &'a mut HashMap<usize, OverlayBucket>,
+    lanes: usize,
+}
+
+impl BucketStore for OverlayStore<'_> {
+    #[inline]
+    fn count(&self, b: usize) -> i64 {
+        match self.overlay.get(&b) {
+            Some(o) => o.count,
+            None => self.base_counts[b],
+        }
+    }
+    #[inline]
+    fn idsum(&self, b: usize, k: usize) -> u64 {
+        match self.overlay.get(&b) {
+            Some(o) => o.idsums[k],
+            None => self.base_idsums[b * self.lanes + k],
+        }
+    }
+    #[inline]
+    fn fpsum(&self, b: usize) -> u64 {
+        match self.overlay.get(&b) {
+            Some(o) => o.fpsum,
+            None => self.base_fpsums[b],
+        }
+    }
+    #[inline]
+    fn extract(&mut self, b: usize, count: i64, subs: &[u64], fp_sub: Option<u64>) {
+        let (base_counts, base_idsums, base_fpsums, lanes) =
+            (self.base_counts, self.base_idsums, self.base_fpsums, self.lanes);
+        let o = self.overlay.entry(b).or_insert_with(|| {
+            let mut idsums = [0u64; MAX_FRAGMENTS];
+            idsums[..lanes].copy_from_slice(&base_idsums[b * lanes..(b + 1) * lanes]);
+            OverlayBucket {
+                count: base_counts[b],
+                idsums,
+                fpsum: base_fpsums.get(b).copied().unwrap_or(0),
+            }
+        });
+        o.count -= count;
+        for (k, &sub) in subs.iter().enumerate() {
+            o.idsums[k] = sub_mod(o.idsums[k], sub);
+        }
+        if let Some(fp) = fp_sub {
+            o.fpsum = sub_mod(o.fpsum, fp);
+        }
+    }
+}
+
+/// True when a bucket still holds state after peeling.
+fn count_remaining(counts: &[i64], idsums: &[u64], lanes: usize) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(b, &c)| {
+            c != 0 || idsums[b * lanes..(b + 1) * lanes].iter().any(|&s| s != 0)
+        })
+        .count()
+}
+
+/// The queue-driven pure-bucket peel (Algorithm 2), generic over the bucket
+/// store so the consuming and non-destructive decodes share one loop.
+fn peel_impl<F: FlowId, S: BucketStore>(
+    cfg: &FermatConfig,
+    hashes: &HashFamily,
+    fp_hash: &PairwiseHash,
+    reducer: FastRange,
+    store: &mut S,
+    queue: &mut VecDeque<(u32, u32)>,
+    flows: &mut HashMap<F, i64>,
+) {
+    let m = cfg.buckets_per_array;
+    let fp_mask = if cfg.fingerprint_bits > 0 {
+        (1u64 << cfg.fingerprint_bits) - 1
+    } else {
+        0
+    };
+    let mut budget: u64 = 32 * (cfg.total_buckets() as u64 + 64);
+    while let Some((i, j)) = queue.pop_front() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        let (i, j) = (i as usize, j as usize);
+        let b = i * m + j;
+        let count = store.count(b);
+        if count == 0 && (0..F::FRAGMENTS).all(|k| store.idsum(b, k) == 0) {
+            continue; // already drained by an earlier extraction
+        }
+        // Steps 3-4: pure-bucket verification (§3.1): recover the candidate
+        // flow via Fermat's little theorem, re-hash it, check fingerprints.
+        let cmod = signed_to_mod(count);
+        if cmod == 0 {
+            continue;
+        }
+        let Some(inv) = inv_mod(cmod) else { continue };
+        let mut frags = [0u64; MAX_FRAGMENTS];
+        for (k, frag) in frags.iter_mut().enumerate().take(F::FRAGMENTS) {
+            *frag = mul_mod(store.idsum(b, k), inv);
+        }
+        let Some(f) = F::try_from_fragments(&frags[..F::FRAGMENTS]) else {
+            continue;
+        };
+        let bh = BatchHasher::new(f.key64());
+        if bh.index(hashes.get(i), reducer) != j {
+            continue;
+        }
+        let fp_of_key = if cfg.fingerprint_bits > 0 {
+            let fpv = bh.raw(fp_hash) & fp_mask;
+            if store.fpsum(b) != mul_mod(cmod, fpv) {
+                continue;
+            }
+            Some(fpv)
+        } else {
+            None
+        };
+        // Single-flow extraction from every mapped bucket, requeueing the
+        // ones still hot (steps 4-6).
+        let mut subs = [0u64; MAX_FRAGMENTS];
+        for (k, s) in subs.iter_mut().enumerate().take(F::FRAGMENTS) {
+            *s = if cmod == 1 { f.fragment(k) } else { mul_mod(cmod, f.fragment(k)) };
+        }
+        let fp_sub = fp_of_key.map(|fpv| mul_mod(cmod, fpv));
+        for (i2, h) in hashes.as_slice().iter().enumerate() {
+            let j2 = bh.index(h, reducer);
+            let b2 = i2 * m + j2;
+            store.extract(b2, count, &subs[..F::FRAGMENTS], fp_sub);
+            if store.count(b2) != 0 || (0..F::FRAGMENTS).any(|k| store.idsum(b2, k) != 0) {
+                queue.push_back((i2 as u32, j2 as u32));
+            }
+        }
+        // Step 5: record in the Flowset.
+        *flows.entry(f).or_insert(0) += count;
+    }
+    // False-positive extraction pairs cancel to zero (§A.2); drop them.
+    flows.retain(|_, c| *c != 0);
 }
 
 #[cfg(test)]
@@ -619,6 +944,48 @@ mod tests {
         let r2 = s.decode();
         assert_eq!(r1.flows, r2.flows);
         assert!(!s.is_zero());
+    }
+
+    #[test]
+    fn decode_with_matches_decode_in_place_across_occupancies() {
+        // Sparse (overlay path), loaded (dense-copy path), and overloaded
+        // (failing) sketches must all agree with the consuming decode.
+        for &(m, flows) in &[(4096usize, 40u32), (400, 700), (100, 900)] {
+            let mut s = FermatSketch::<u32>::new(cfg(m));
+            let mut rng = StdRng::seed_from_u64(m as u64 ^ flows as u64);
+            for _ in 0..flows {
+                s.insert_weighted(&rng.gen(), rng.gen_range(1..9));
+            }
+            let mut scratch = DecodeScratch::new();
+            let via_scratch = s.decode_with(&mut scratch);
+            let via_fresh = s.decode();
+            let consuming = s.clone().decode_in_place();
+            assert_eq!(via_scratch.flows, consuming.flows, "m={m}");
+            assert_eq!(via_scratch.success, consuming.success, "m={m}");
+            assert_eq!(via_scratch.remaining_nonzero, consuming.remaining_nonzero);
+            assert_eq!(via_fresh.flows, consuming.flows);
+            // Decoding must not have mutated the sketch.
+            assert_eq!(s.decode().flows, consuming.flows);
+        }
+    }
+
+    #[test]
+    fn decode_scratch_is_reusable_across_epochs() {
+        let mut scratch = DecodeScratch::new();
+        for epoch in 0..5u64 {
+            let mut s = FermatSketch::<u32>::new(cfg(256));
+            let mut rng = StdRng::seed_from_u64(epoch);
+            let mut truth = HashMap::new();
+            for _ in 0..300 {
+                let f: u32 = rng.gen();
+                *truth.entry(f).or_insert(0) += 1;
+                s.insert(&f);
+            }
+            let r = s.decode_with(&mut scratch);
+            assert!(r.success, "epoch {epoch}");
+            assert_eq!(r.flows, truth);
+            scratch.recycle(r);
+        }
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub use clock::{ClockModel, EpochClock};
 pub use detailed::{run_detailed, DetailedReport, DropPoint};
 pub use header::{decode_tos, encode_tos, CarriedState, IntShim};
 pub use collect::CollectionModel;
-pub use sim::{EdgeHooks, EpochReport, SimConfig, Simulator};
+pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};
 pub use topology::{FatTree, SwitchId, SwitchRole};

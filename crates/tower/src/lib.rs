@@ -14,7 +14,7 @@ pub mod mrac;
 
 pub use mrac::{mrac_em, MracConfig};
 
-use chm_common::hash::HashFamily;
+use chm_common::hash::{BatchHasher, FastRange, HashFamily};
 
 /// Configuration of one counter level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,11 +77,13 @@ impl TowerConfig {
     }
 }
 
-/// The TowerSketch data structure.
-#[derive(Debug, Clone)]
+/// The TowerSketch data structure. `PartialEq` compares full counter state.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TowerSketch {
     cfg: TowerConfig,
     hashes: HashFamily,
+    /// Precomputed branch-free range reduction per level.
+    reducers: Vec<FastRange>,
     /// Counter storage per level (stored as u32; saturation per level).
     counters: Vec<Vec<u32>>,
 }
@@ -101,8 +103,9 @@ impl TowerSketch {
             "level widths must be in 1..=32 bits with non-zero counters"
         );
         let hashes = HashFamily::new(cfg.seed, cfg.levels.len());
+        let reducers = cfg.levels.iter().map(|l| FastRange::new(l.width)).collect();
         let counters = cfg.levels.iter().map(|l| vec![0u32; l.width]).collect();
-        TowerSketch { cfg, hashes, counters }
+        TowerSketch { cfg, hashes, reducers, counters }
     }
 
     /// The sketch configuration.
@@ -114,10 +117,16 @@ impl TowerSketch {
     /// 64-bit key, see [`chm_common::FlowId::key64`]) and returns the
     /// *post-insertion* online query result — the data plane classifies the
     /// packet's flow with this value (§3.2.1 "Packet processing").
+    ///
+    /// Hot path: the key is mixed once ([`BatchHasher`]) and each level's
+    /// counter index comes from its precomputed branch-free [`FastRange`]
+    /// reduction. No allocation, no division.
+    #[inline]
     pub fn insert_and_query(&mut self, key: u64) -> u64 {
+        let bh = BatchHasher::new(key);
         let mut min = u64::MAX;
         for (i, level) in self.cfg.levels.iter().enumerate() {
-            let j = self.hashes.index(i, key, level.width);
+            let j = bh.index(self.hashes.get(i), self.reducers[i]);
             let sat = level.saturation() as u32;
             let c = &mut self.counters[i][j];
             if *c < sat {
@@ -129,12 +138,56 @@ impl TowerSketch {
         min
     }
 
+    /// Inserts a **burst** of `n` consecutive packets of the flow `key` and
+    /// classifies every packet against the thresholds `(tl, th)` in closed
+    /// form — the batched equivalent of calling
+    /// [`insert_and_query`](Self::insert_and_query) `n` times and bucketing
+    /// each post-insertion size as LL (`< tl`), HL (`< th`) or HH (`≥ th`).
+    ///
+    /// Returns `(n_ll, n_hl, n_hh)`, which partition the burst **in packet
+    /// order**: the per-packet size sequence is non-decreasing (every mapped
+    /// counter increments per packet and saturates upward), so the class
+    /// sequence is always `LL* HL* HH*`.
+    ///
+    /// Why closed form works: packet `j` (1-based) of the burst sees size
+    /// `min_i v_i(j)` with `v_i(j) = c_i + j` while `c_i + j <
+    /// saturation_i`, else `+∞`. Hence `size_j < T` iff
+    /// `j < max_i (min(sat_i, T) − c_i)`, giving the count below any
+    /// threshold with one pass over the levels — no per-packet work at all.
+    /// Resulting counter state is `min(c_i + n, sat_i)`, identical to `n`
+    /// saturating unit increments.
+    #[inline]
+    pub fn insert_burst(&mut self, key: u64, n: u64, tl: u64, th: u64) -> (u64, u64, u64) {
+        debug_assert!(tl <= th);
+        if n == 0 {
+            return (0, 0, 0);
+        }
+        let bh = BatchHasher::new(key);
+        // Packets with size strictly below T: j < max_i (min(sat_i, T) − c_i).
+        let mut k_tl = 0u64;
+        let mut k_th = 0u64;
+        for (i, level) in self.cfg.levels.iter().enumerate() {
+            let j = bh.index(self.hashes.get(i), self.reducers[i]);
+            let sat = level.saturation();
+            let c = &mut self.counters[i][j];
+            let before = *c as u64;
+            k_tl = k_tl.max(sat.min(tl).saturating_sub(before));
+            k_th = k_th.max(sat.min(th).saturating_sub(before));
+            *c = (before + n).min(sat) as u32;
+        }
+        let below_tl = n.min(k_tl.saturating_sub(1));
+        let below_th = n.min(k_th.saturating_sub(1));
+        (below_tl, below_th - below_tl, n - below_th)
+    }
+
     /// Online query: minimum over mapped counters, `u64::MAX` if all mapped
     /// counters are overflowed.
+    #[inline]
     pub fn query(&self, key: u64) -> u64 {
+        let bh = BatchHasher::new(key);
         let mut min = u64::MAX;
         for (i, level) in self.cfg.levels.iter().enumerate() {
-            let j = self.hashes.index(i, key, level.width);
+            let j = bh.index(self.hashes.get(i), self.reducers[i]);
             let c = self.counters[i][j] as u64;
             let v = if c >= level.saturation() { u64::MAX } else { c };
             min = min.min(v);
@@ -300,6 +353,53 @@ mod tests {
         }
         // 8-bit level is pinned at 255 (=∞); 16-bit level carries 400.
         assert_eq!(t.query(5), 400);
+    }
+
+    #[test]
+    fn burst_insert_matches_per_packet_classification() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for (tl, th) in [(1u64, 1u64), (1, 10), (3, 9), (5, 5), (200, 300)] {
+            let mut a = TowerSketch::new(small());
+            let mut b = TowerSketch::new(small());
+            // Interleave bursts of many flows, including repeats.
+            for _ in 0..300 {
+                let key: u64 = rng.gen_range(0..60);
+                let n: u64 = rng.gen_range(1..40);
+                // Reference: per-packet inserts classified one at a time.
+                let (mut ll, mut hl, mut hh) = (0u64, 0, 0);
+                for _ in 0..n {
+                    let size = a.insert_and_query(key);
+                    if size >= th {
+                        hh += 1;
+                    } else if size >= tl {
+                        hl += 1;
+                    } else {
+                        ll += 1;
+                    }
+                }
+                let burst = b.insert_burst(key, n, tl, th);
+                assert_eq!(burst, (ll, hl, hh), "key={key} n={n} tl={tl} th={th}");
+            }
+            // Counter state must be identical afterwards.
+            for i in 0..a.cfg.levels.len() {
+                assert_eq!(a.level_counters(i), b.level_counters(i), "level {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_insert_saturation_and_degenerate_cases() {
+        let mut t = TowerSketch::new(TowerConfig {
+            levels: vec![TowerLevel { width: 4, bits: 2 }],
+            seed: 3,
+        });
+        // Saturating burst: counter pins at 3 (∞), every packet ≥ any T.
+        let (ll, hl, hh) = t.insert_burst(1, 100, 2, 3);
+        // Reference semantics: sizes 1, 2, then MAX... → ll=1 (size 1 < 2),
+        // hl=1 (size 2 < 3), rest HH.
+        assert_eq!((ll, hl, hh), (1, 1, 98));
+        assert_eq!(t.query(1), u64::MAX);
+        assert_eq!(t.insert_burst(1, 0, 1, 1), (0, 0, 0));
     }
 
     #[test]

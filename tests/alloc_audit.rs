@@ -1,0 +1,131 @@
+//! Allocation audit of the per-packet hot path: `TowerSketch` and
+//! `FermatSketch` inserts must never allocate — the packet engine's speed
+//! rests on it. Verified with a counting global allocator (the
+//! test-binary equivalent of a debug-assertion-gated allocation counter:
+//! it only exists here, costs nothing in the shipped crates, and fails the
+//! suite loudly if an allocation sneaks into the hot path).
+
+use chamelemon_repro::chm_fermat::{DecodeScratch, FermatConfig, FermatSketch};
+use chamelemon_repro::chm_tower::{TowerConfig, TowerSketch};
+use chamelemon_repro::chm_common::FiveTuple;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+/// Minimum over two passes: one-time process-level allocations (lazy
+/// statics, TLS, harness bookkeeping racing on the global counter) can
+/// land in any single window; a hot path that truly allocates shows up in
+/// every pass.
+fn steady_allocations_during(mut f: impl FnMut()) -> u64 {
+    let a = allocations_during(&mut f);
+    let b = allocations_during(&mut f);
+    a.min(b)
+}
+
+fn tuple(i: u32) -> FiveTuple {
+    FiveTuple {
+        src_ip: 0x0a00_0000 | i,
+        dst_ip: 0x0b00_0000 | i.rotate_left(7),
+        src_port: (i % 50_000) as u16,
+        dst_port: 443,
+        proto: 17,
+    }
+}
+
+/// One `#[test]` on purpose: the allocation counter is process-global, and
+/// concurrently running tests would land their allocations in each other's
+/// measured windows.
+#[test]
+fn hot_paths_do_not_allocate() {
+    tower_insert_does_not_allocate();
+    fermat_insert_does_not_allocate();
+    warmed_dense_decode_reuses_scratch_buffers();
+}
+
+fn tower_insert_does_not_allocate() {
+    let mut t = TowerSketch::new(TowerConfig::paper_default(1));
+    // Warm-up (first touches, lazy statics).
+    for i in 0..64u64 {
+        t.insert_and_query(i);
+    }
+    let n = steady_allocations_during(|| {
+        for i in 0..20_000u64 {
+            std::hint::black_box(t.insert_and_query(i));
+        }
+    });
+    assert_eq!(n, 0, "TowerSketch::insert_and_query allocated {n} times");
+    let n = steady_allocations_during(|| {
+        for i in 0..5_000u64 {
+            std::hint::black_box(t.insert_burst(i, 25, 3, 10));
+        }
+    });
+    assert_eq!(n, 0, "TowerSketch::insert_burst allocated {n} times");
+}
+
+fn fermat_insert_does_not_allocate() {
+    let mut s = FermatSketch::<FiveTuple>::new(FermatConfig::standard(4096, 2));
+    for i in 0..64u32 {
+        s.insert(&tuple(i));
+    }
+    let n = steady_allocations_during(|| {
+        for i in 0..20_000u32 {
+            s.insert(&tuple(i));
+        }
+    });
+    assert_eq!(n, 0, "FermatSketch::insert allocated {n} times");
+    let n = steady_allocations_during(|| {
+        for i in 0..5_000u32 {
+            s.insert_weighted(&tuple(i), 3);
+        }
+    });
+    assert_eq!(n, 0, "FermatSketch::insert_weighted allocated {n} times");
+}
+
+fn warmed_dense_decode_reuses_scratch_buffers() {
+    // After one warm-up decode, the dense-path scratch decode should not
+    // grow its bucket buffers or queue again; only the result flowset may
+    // allocate. We bound it loosely: far fewer allocations than flows.
+    let mut s = FermatSketch::<u32>::new(FermatConfig::standard(2048, 3));
+    for i in 0..3_000u32 {
+        s.insert(&i);
+    }
+    let mut scratch = DecodeScratch::new();
+    let r = s.decode_with(&mut scratch);
+    assert!(r.success);
+    scratch.recycle(r);
+    let n = steady_allocations_during(|| {
+        let r = s.decode_with(&mut scratch);
+        assert!(r.success);
+        std::hint::black_box(r.flows.len());
+    });
+    assert!(
+        n < 100,
+        "warmed decode_with allocated {n} times (buffers not reused?)"
+    );
+}
