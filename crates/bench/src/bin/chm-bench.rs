@@ -2,18 +2,34 @@
 //!
 //! ```text
 //! chm-bench perf [--quick] [--out <dir>]
+//! chm-bench scenarios [--quick] [--per-packet] [--out <dir>]
 //! ```
 //!
 //! `perf` measures the hot-path packet engine (packets/sec, decode latency)
 //! against the in-tree legacy replica of the pre-fast-path implementation
 //! and writes `results/BENCH_hotpath.json` (see `chm_bench::perf`).
+//!
+//! `scenarios` runs the golden adversarial matrix (Gilbert–Elliott bursty
+//! loss, duplication, reordering, clock skew, report loss, churn, floods,
+//! victim drift, perfect storm) through the full pipeline and writes
+//! `results/SCENARIOS.json` (see `chm_bench::scenarios`). The JSON is a
+//! pure function of the scenario seeds — byte-identical across runs and
+//! machines — so accuracy regressions are plain diffs. `--per-packet`
+//! swaps the burst replay for the per-packet path (the differential tests
+//! guarantee identical output; the flag exists to demonstrate it).
+//!
 //! `--quick` runs the reduced CI-smoke sizing; `--out` overrides the
 //! results directory.
 
 use chm_bench::perf::{self, PerfConfig};
+use chm_bench::scenarios;
+use chm_scenarios::ReplayMode;
 
 fn usage() -> ! {
-    eprintln!("usage: chm-bench perf [--quick] [--out <dir>]");
+    eprintln!(
+        "usage: chm-bench perf [--quick] [--out <dir>]\n       \
+         chm-bench scenarios [--quick] [--per-packet] [--out <dir>]"
+    );
     std::process::exit(2);
 }
 
@@ -48,6 +64,40 @@ fn main() {
                  json: {out_dir}/BENCH_hotpath.json",
                 row[0] / 1e6,
                 row[1] / 1e6,
+            );
+        }
+        "scenarios" => {
+            let mut quick = false;
+            let mut mode = ReplayMode::Burst;
+            let mut out_dir = "results".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => quick = true,
+                    "--per-packet" => mode = ReplayMode::PerPacket,
+                    "--out" => match it.next() {
+                        Some(d) => out_dir = d.clone(),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let results = scenarios::run_matrix(quick, mode);
+            scenarios::print_table(&results);
+            if let Err(e) = scenarios::write_json(&results, quick, &out_dir) {
+                eprintln!("error: could not write {out_dir}/SCENARIOS.json: {e}");
+                std::process::exit(1);
+            }
+            let worst = results
+                .iter()
+                .min_by(|a, b| a.mean_f1.total_cmp(&b.mean_f1))
+                .expect("matrix is non-empty");
+            eprintln!(
+                "\n{} scenarios; worst mean F1 {:.4} ({}); \
+                 json: {out_dir}/SCENARIOS.json",
+                results.len(),
+                worst.mean_f1,
+                worst.name,
             );
         }
         _ => usage(),

@@ -12,6 +12,7 @@ pub mod lossdet;
 pub mod parallel;
 pub mod perf;
 pub mod report;
+pub mod scenarios;
 
 pub use lossdet::{min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario};
 pub use parallel::{run_trials, run_trials_all, run_trials_with};

@@ -103,7 +103,7 @@ impl Table {
 }
 
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -122,7 +122,7 @@ fn json_string(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON number (JSON has no NaN/Inf — map to null).
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

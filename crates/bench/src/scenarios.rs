@@ -1,0 +1,150 @@
+//! `chm-bench scenarios`: runs the golden adversarial matrix
+//! ([`chm_scenarios::standard_matrix`]) through the full measurement
+//! pipeline and records per-scenario accuracy in `results/SCENARIOS.json`.
+//!
+//! The JSON is **deterministic**: every number derives from the scenario
+//! seeds (no timestamps, no wall-clock), so the same seed produces a
+//! byte-identical file on any machine — scenario regressions show up as
+//! plain diffs.
+
+use crate::report::{json_number, json_string};
+use chamelemon::config::DataPlaneConfig;
+use chm_scenarios::{run, run_with_config, ReplayMode, ScenarioResult};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Runs the standard matrix under `mode`. `quick` (CI smoke) pairs the
+/// reduced workload sizing with the scaled-down data plane; the full matrix
+/// runs the paper's §5.2 data-plane parameters.
+pub fn run_matrix(quick: bool, mode: ReplayMode) -> Vec<ScenarioResult> {
+    chm_scenarios::standard_matrix(quick)
+        .iter()
+        .map(|s| {
+            if quick {
+                run(s, mode)
+            } else {
+                run_with_config(
+                    s,
+                    mode,
+                    DataPlaneConfig::paper_default(s.seed ^ chm_scenarios::CFG_SALT),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Prints the matrix scorecard as an aligned table.
+pub fn print_table(results: &[ScenarioResult]) {
+    println!("\n== scenarios — adversarial matrix ==");
+    println!(
+        "{:>16} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "scenario", "epochs", "mean_f1", "mean_are", "decode", "reports", "victims"
+    );
+    for r in results {
+        let victims: usize = r.epochs.iter().map(|e| e.true_victims).sum();
+        println!(
+            "{:>16} {:>8} {:>8.4} {:>8.4} {:>8.2} {:>10.2} {:>8}",
+            r.name,
+            r.epochs.len(),
+            r.mean_f1,
+            r.mean_are,
+            r.decode_success,
+            r.report_delivery,
+            victims,
+        );
+    }
+}
+
+/// Renders the matrix as the `SCENARIOS.json` document.
+pub fn to_json(results: &[ScenarioResult], quick: bool) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"id\": \"scenarios\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": {},\n", json_string(&r.name)));
+        out.push_str(&format!("      \"epochs\": {},\n", r.epochs.len()));
+        out.push_str(&format!("      \"mean_f1\": {},\n", json_number(r.mean_f1)));
+        out.push_str(&format!("      \"mean_are\": {},\n", json_number(r.mean_are)));
+        out.push_str(&format!(
+            "      \"decode_success\": {},\n",
+            json_number(r.decode_success)
+        ));
+        out.push_str(&format!(
+            "      \"report_delivery\": {},\n",
+            json_number(r.report_delivery)
+        ));
+        out.push_str("      \"per_epoch\": [\n");
+        for (j, e) in r.epochs.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"epoch\": {}, \"f1\": {}, \"precision\": {}, \
+                 \"recall\": {}, \"are\": {}, \"decode_ok\": {}, \
+                 \"reports\": {}, \"true_victims\": {}, \
+                 \"reported_victims\": {}, \"flows\": {}, \"packets\": {}}}{}\n",
+                e.epoch,
+                json_number(e.f1),
+                json_number(e.precision),
+                json_number(e.recall),
+                json_number(e.are),
+                e.decode_ok,
+                e.reports_received,
+                e.true_victims,
+                e.reported_victims,
+                e.flows,
+                e.packets_sent,
+                if j + 1 < r.epochs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `SCENARIOS.json` under `dir`.
+pub fn write_json(
+    results: &[ScenarioResult],
+    quick: bool,
+    dir: impl AsRef<Path>,
+) -> io::Result<()> {
+    fs::create_dir_all(&dir)?;
+    fs::write(dir.as_ref().join("SCENARIOS.json"), to_json(results, quick))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        // A tiny ad-hoc matrix keeps this a unit test, not a benchmark.
+        let s = chm_scenarios::Scenario::builder("tiny")
+            .seed(1)
+            .flows(120)
+            .epochs(2)
+            .duplication(0.1)
+            .build();
+        let r1 = vec![run(&s, ReplayMode::Burst)];
+        let r2 = vec![run(&s, ReplayMode::Burst)];
+        let j1 = to_json(&r1, true);
+        let j2 = to_json(&r2, true);
+        assert_eq!(j1, j2, "same seed must render byte-identical JSON");
+        assert!(j1.contains("\"name\": \"tiny\""));
+        assert!(j1.contains("\"per_epoch\""));
+        // Balanced braces/brackets (cheap well-formedness check; the repo
+        // has no JSON parser by design).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j1.matches(open).count(),
+                j1.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+}

@@ -79,6 +79,11 @@ pub struct EpochAnalysis<F> {
     pub runtime: RuntimeConfig,
     /// The network state the controller believed during this epoch.
     pub state_during: NetworkState,
+    /// How many switches' collected groups actually reached the controller
+    /// this epoch. On a lossy control channel this can be fewer than the
+    /// deployment's switch count — `0` means the controller flew blind and
+    /// [`Controller::reconfigure`] keeps the deployed runtime unchanged.
+    pub switches_reporting: usize,
 }
 
 impl<F: FlowId> EpochAnalysis<F> {
@@ -181,9 +186,36 @@ impl<F: FlowId> Controller<F> {
     }
 
     /// §4.2 packet loss detection + §4.3 network-state monitoring over the
-    /// collected groups of all edge switches.
+    /// collected groups of the edge switches whose reports arrived.
+    ///
+    /// Tolerant to a lossy control channel: `collected` may hold any subset
+    /// of the deployment's switches. With a partial subset the analysis
+    /// proceeds on what arrived (flows egressing at a missing switch then
+    /// surface as spurious victims — the honest degradation a lost report
+    /// causes); with an *empty* subset the controller returns a blind
+    /// analysis (`switches_reporting == 0`, nothing decoded, estimates
+    /// zero) and [`reconfigure`](Self::reconfigure) leaves the deployed
+    /// runtime untouched.
     pub fn analyze_epoch(&self, collected: &[CollectedGroup<F>]) -> EpochAnalysis<F> {
-        assert!(!collected.is_empty(), "no switches collected");
+        if collected.is_empty() {
+            return EpochAnalysis {
+                hh_flowsets: Vec::new(),
+                hh_decode_ok: false,
+                hl_flowset: None,
+                ll_flowset: None,
+                loss_report: HashMap::new(),
+                est_flows_per_switch: Vec::new(),
+                est_flows: 0.0,
+                est_hls: 0.0,
+                est_lls: 0.0,
+                est_victims: 0.0,
+                flow_size_dist: Vec::new(),
+                victim_size_dist: None,
+                runtime: self.deployed,
+                state_during: self.state,
+                switches_reporting: 0,
+            };
+        }
         let scratch = &mut *self.scratch.borrow_mut();
         let runtime = collected[0].runtime;
         let d = self.cfg.arrays as f64;
@@ -398,6 +430,7 @@ impl<F: FlowId> Controller<F> {
             victim_size_dist,
             runtime,
             state_during: self.state,
+            switches_reporting: collected.len(),
         }
     }
 
@@ -431,6 +464,12 @@ impl<F: FlowId> Controller<F> {
     /// returns the runtime configuration for the next epoch, updating the
     /// controller's network-state belief.
     pub fn reconfigure(&mut self, a: &EpochAnalysis<F>) -> RuntimeConfig {
+        if a.switches_reporting == 0 {
+            // Every report was lost this epoch: no evidence to act on.
+            // Redeploy the current runtime unchanged rather than reacting
+            // to the blind analysis's zeroed estimates.
+            return self.deployed;
+        }
         let rt = match self.state {
             NetworkState::Healthy => self.reconfigure_healthy(a),
             NetworkState::Ill => self.reconfigure_ill(a),

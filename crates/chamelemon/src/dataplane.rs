@@ -111,10 +111,6 @@ impl<F: FlowId> SketchGroup<F> {
         }
     }
 
-    /// Whether the group's upstream encoders hold any packets.
-    fn is_upstream_empty(&self) -> bool {
-        self.up_hh.is_zero() && self.up_hl.is_zero() && self.up_ll.is_zero()
-    }
 }
 
 /// A snapshot of one group, as collected by the controller after the epoch
@@ -291,18 +287,22 @@ impl<F: FlowId> EdgeDataPlane<F> {
     ///
     /// Allocation discipline: the ended slot (collected, or a
     /// [`take_group`](Self::take_group) tombstone) is always rebuilt; the
-    /// idle group — already empty — is rebuilt only when the staged runtime
-    /// actually changed, so a steady-state epoch rotates with a single
-    /// group construction instead of the two rebuilds plus a deep snapshot
-    /// clone of earlier revisions.
+    /// idle group is rebuilt only when the staged runtime actually changed,
+    /// so a steady-state epoch rotates with a single group construction
+    /// instead of the two rebuilds plus a deep snapshot clone of earlier
+    /// revisions.
+    ///
+    /// The idle group is usually empty at the flip (it was collected and
+    /// reset one epoch ago), but **clock skew legitimately violates that**:
+    /// an edge whose clock lags stamps early next-epoch packets with the
+    /// next timestamp bit, landing them in the idle group before the flip
+    /// (Appendix B). Those early packets are preserved when the runtime is
+    /// unchanged and wiped when a reconfiguration rebuilds the group — the
+    /// same fate a real table rewrite hands them.
     pub fn flip(&mut self, ended_ts: u8) {
         let rt = self.pending.take().unwrap_or(self.group(ended_ts).runtime);
         let ended = (ended_ts & 1) as usize;
         let other = 1 - ended;
-        debug_assert!(
-            self.groups[other].is_upstream_empty(),
-            "the idle group must be empty at the flip"
-        );
         self.groups[ended] = SketchGroup::new(&self.cfg, rt);
         if self.groups[other].runtime != rt {
             self.groups[other] = SketchGroup::new(&self.cfg, rt);

@@ -7,6 +7,9 @@ use chamelemon::config::DataPlaneConfig;
 use chamelemon::dataplane::{EdgeDataPlane, Hierarchy};
 use chamelemon::RuntimeConfig;
 use chm_common::FiveTuple;
+use chm_netsim::impair::{
+    ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering,
+};
 use chm_netsim::sim::{BurstHooks, EdgeHooks};
 use chm_netsim::{FatTree, SimConfig, Simulator};
 use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
@@ -62,6 +65,56 @@ fn burst_replay_is_byte_identical_to_per_packet_replay() {
     for _ in 0..2 {
         let ra = sim_a.run_epoch(&trace, &plan, &mut per_packet);
         let rb = sim_b.run_epoch_burst(&trace, &plan, &mut burst);
+        assert_eq!(ra.delivered, rb.delivered);
+        assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ra.epoch, rb.epoch);
+    }
+
+    for (e, (a, b)) in per_packet.0.iter().zip(&burst.0).enumerate() {
+        for ts in 0..2u8 {
+            let (ga, gb) = (a.group(ts), b.group(ts));
+            assert_eq!(ga.classifier, gb.classifier, "edge {e} ts {ts} classifier");
+            assert_eq!(ga.up_hh, gb.up_hh, "edge {e} ts {ts} up_hh");
+            assert_eq!(ga.up_hl, gb.up_hl, "edge {e} ts {ts} up_hl");
+            assert_eq!(ga.up_ll, gb.up_ll, "edge {e} ts {ts} up_ll");
+            assert_eq!(ga.down_hl, gb.down_hl, "edge {e} ts {ts} down_hl");
+            assert_eq!(ga.down_ll, gb.down_ll, "edge {e} ts {ts} down_ll");
+        }
+    }
+}
+
+#[test]
+fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
+    // The PR-2 equivalence contract must survive every fabric impairment:
+    // the impairment layer lives above the hook boundary, so the scenario
+    // replay paths consult one per-flow realization and stay identical.
+    let topo = FatTree::testbed();
+    let n_edges = topo.n_edge;
+    let cfg = DataPlaneConfig::small(0xb1b1);
+    let mut rt = RuntimeConfig::initial(&cfg);
+    rt.partition = chamelemon::Partition { m_hh: 256, m_hl: 192, m_ll: 64 };
+    rt.th = 12;
+    rt.tl = 4;
+    rt.sample_threshold = 30_000;
+
+    let trace = testbed_trace(WorkloadKind::Hadoop, 1_000, 8, 0x6161);
+    let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.15), 0.05, 0x8282);
+    let imp = ImpairmentSet {
+        seed: 0x19a9_5eed,
+        gilbert_elliott: Some(GilbertElliott::bursty()),
+        duplication: Some(Duplication { prob: 0.08 }),
+        reordering: Some(Reordering { prob: 0.3, window: 6 }),
+        clock_skew: Some(ClockSkew { max_frac: 0.1 }),
+    };
+
+    let mut per_packet = edges(&cfg, &rt, n_edges);
+    let mut burst = edges(&cfg, &rt, n_edges);
+    let mut sim_a = Simulator::new(topo.clone(), SimConfig::default());
+    let mut sim_b = Simulator::new(topo, SimConfig::default());
+
+    for _ in 0..3 {
+        let ra = sim_a.run_epoch_scenario(&trace, &plan, &imp, &mut per_packet);
+        let rb = sim_b.run_epoch_burst_scenario(&trace, &plan, &imp, &mut burst);
         assert_eq!(ra.delivered, rb.delivered);
         assert_eq!(ra.lost, rb.lost);
         assert_eq!(ra.epoch, rb.epoch);

@@ -202,3 +202,41 @@ fn analysis_estimates_flow_count_per_switch() {
     let est = a.est_flows_per_switch[0];
     assert!((est - 600.0).abs() / 600.0 < 0.2, "estimate {est}");
 }
+
+#[test]
+fn empty_collection_is_tolerated_and_keeps_runtime() {
+    // A fully lossy control channel: no switch's report arrives. The
+    // controller must neither panic nor react — the deployed runtime is
+    // redeployed unchanged and the state belief is untouched.
+    let cfg = DataPlaneConfig::small(8);
+    let mut ctl = Controller::<u32>::new(cfg);
+    let before = *ctl.deployed_runtime();
+    let a = ctl.analyze_epoch(&[]);
+    assert_eq!(a.switches_reporting, 0);
+    assert!(a.loss_report.is_empty());
+    assert!(a.hl_flowset.is_none() && a.ll_flowset.is_none());
+    assert_eq!(a.est_flows, 0.0);
+    let rt = ctl.reconfigure(&a);
+    assert_eq!(rt, before);
+    assert_eq!(*ctl.deployed_runtime(), before);
+    assert_eq!(ctl.state(), NetworkState::Healthy);
+}
+
+#[test]
+fn partial_collection_analyzes_received_subset() {
+    // Two switches monitored, one report lost: the analysis proceeds on the
+    // survivor and records how many switches actually reported.
+    let cfg = DataPlaneConfig::small(9);
+    let rt = RuntimeConfig::initial(&cfg);
+    let flows: Vec<(u32, u64, u64)> = (0..80).map(|f| (f, 4, 0)).collect();
+    let g0 = run_switch(&cfg, &rt, &flows);
+    let _g1_lost = run_switch(&cfg, &rt, &flows);
+    let mut ctl = Controller::<u32>::new(cfg);
+    let a = ctl.analyze_epoch(&[g0]);
+    assert_eq!(a.switches_reporting, 1);
+    assert!(a.hh_decode_ok);
+    assert_eq!(a.est_flows_per_switch.len(), 1);
+    // Reconfiguration still proceeds on partial evidence.
+    let new_rt = ctl.reconfigure(&a);
+    new_rt.validate(&DataPlaneConfig::small(9)).unwrap();
+}

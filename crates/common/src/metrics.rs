@@ -14,15 +14,23 @@ use std::hash::Hash;
 ///
 /// `truth` defines the flow set Ω; flows absent from `estimate` are treated
 /// as estimated 0 (relative error 1). Returns 0.0 for an empty Ω.
-pub fn average_relative_error<K: Eq + Hash>(
+///
+/// The per-flow terms are accumulated in sorted-key order: `HashMap`
+/// iteration order is randomized per map instance, and float addition is
+/// order-sensitive in the last ulp — sorting makes the metric a pure
+/// function of its inputs, which the differential/golden-scenario tests
+/// rely on (byte-identical JSON per seed).
+pub fn average_relative_error<K: Eq + Hash + Ord>(
     truth: &HashMap<K, u64>,
     estimate: &HashMap<K, u64>,
 ) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
+    let mut keyed: Vec<(&K, u64)> = truth.iter().map(|(k, &v)| (k, v)).collect();
+    keyed.sort_unstable_by(|a, b| a.0.cmp(b.0));
     let mut sum = 0.0;
-    for (k, &v) in truth {
+    for (k, v) in keyed {
         let e = estimate.get(k).copied().unwrap_or(0);
         if v == 0 {
             continue;

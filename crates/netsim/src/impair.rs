@@ -1,0 +1,401 @@
+//! Per-packet impairment models: the adversarial conditions a real fabric
+//! inflicts that the paper's clean evaluation (§5.2: Bernoulli loss on a
+//! healthy fat-tree) never exercises — correlated bursty loss, duplication,
+//! bounded reordering, and per-edge clock skew.
+//!
+//! # The burst-replay equivalence contract
+//!
+//! Every impairment is realized **per flow, above the hook boundary**: an
+//! [`ImpairmentSet`] compiles, for each `(flow, epoch)` pair, a deterministic
+//! [`FlowFates`] record — which packet indices are delivered, which carry a
+//! duplicate, and how many leading packets are mis-stamped by clock skew.
+//! Both replay paths ([`run_epoch_scenario`](crate::Simulator::run_epoch_scenario)
+//! and [`run_epoch_burst_scenario`](crate::Simulator::run_epoch_burst_scenario))
+//! consult the *same* realization, so the per-packet and burst replays stay
+//! byte-identical under any scenario (property-tested in
+//! `chm_scenarios/tests/differential.rs`). Nothing impairment-specific is
+//! bolted into either path.
+//!
+//! All randomness is derived from the impairment seed, the epoch seed, and
+//! the flow key — never from call order — so a scenario is reproducible
+//! bit-for-bit from its seed alone.
+
+use crate::sim::spread_drop;
+use chm_common::hash::mix64;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Gilbert–Elliott two-state Markov loss model: packets traverse a channel
+/// that alternates between a *Good* and a *Bad* state with per-packet
+/// transition probabilities; each state drops packets at its own rate.
+/// The classic model of correlated (bursty) loss — long loss-free stretches
+/// punctuated by dense loss bursts, unlike Bernoulli loss which spreads
+/// drops uniformly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// P(Good → Bad) per packet.
+    pub p_enter_bad: f64,
+    /// P(Bad → Good) per packet.
+    pub p_exit_bad: f64,
+    /// Drop probability while in the Good state (usually 0).
+    pub loss_good: f64,
+    /// Drop probability while in the Bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A typical bursty profile: rare entry into Bad (2%), mean burst length
+    /// 4 packets, half the packets in a burst lost.
+    pub fn bursty() -> Self {
+        GilbertElliott {
+            p_enter_bad: 0.02,
+            p_exit_bad: 0.25,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        }
+    }
+}
+
+/// Packet duplication: each delivered packet is duplicated in the fabric
+/// with probability `prob`. The duplicate traverses the egress pipeline a
+/// second time (same hierarchy tag, same timestamp bit) but never the
+/// ingress pipeline — exactly what a fabric-level retransmit or a flaky
+/// link-layer does to a measurement system that counts at the edges.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Duplication {
+    /// Per-delivered-packet duplication probability.
+    pub prob: f64,
+}
+
+/// Bounded reordering: with probability `prob`, a packet swaps fates with a
+/// packet up to `window` positions later in its flow. Reordering does not
+/// change *how many* packets are lost, only *which positions* in the flow's
+/// packet sequence the losses land on — which moves losses across the
+/// LL/HL/HH hierarchy-tag boundaries the classifier assigns, the exact
+/// effect in-fabric reordering has on ChameleMon's edge encoders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reordering {
+    /// Per-packet swap probability.
+    pub prob: f64,
+    /// Maximum displacement in packets (≥ 1).
+    pub window: u64,
+}
+
+/// Per-edge clock skew (Appendix B): an edge switch whose clock lags the
+/// fabric stamps the first packets of an epoch with the *previous* epoch's
+/// 1-bit timestamp, steering them into the sketch group that monitors the
+/// neighboring epoch. Each ingress edge gets a deterministic skew fraction
+/// in `[0, max_frac)`; a flow entering at a skewed edge has a prefix of its
+/// packets mis-stamped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSkew {
+    /// Upper bound on the per-edge skew, as a fraction of the epoch length.
+    pub max_frac: f64,
+}
+
+/// A composable set of impairments, realized deterministically per
+/// `(flow, epoch)`. [`ImpairmentSet::none`] is the clean fabric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ImpairmentSet {
+    /// Seed folded into every realization (scenario identity).
+    pub seed: u64,
+    /// Correlated bursty loss, applied on top of the epoch's loss plan.
+    pub gilbert_elliott: Option<GilbertElliott>,
+    /// Fabric packet duplication.
+    pub duplication: Option<Duplication>,
+    /// Bounded packet reordering.
+    pub reordering: Option<Reordering>,
+    /// Per-edge 1-bit-timestamp clock skew.
+    pub clock_skew: Option<ClockSkew>,
+}
+
+/// Salt distinguishing the per-edge skew hash from other derivations.
+const SKEW_SALT: u64 = 0x0f00_5c1f_fa11_c10c;
+/// Salt for the per-flow epoch phase used by clock skew.
+const PHASE_SALT: u64 = 0x9a5e_0f10;
+
+impl ImpairmentSet {
+    /// The clean fabric: no impairments at all.
+    pub fn none() -> Self {
+        ImpairmentSet::default()
+    }
+
+    /// True when no impairment is configured (the clean fast paths apply).
+    pub fn is_none(&self) -> bool {
+        self.gilbert_elliott.is_none()
+            && self.duplication.is_none()
+            && self.reordering.is_none()
+            && self.clock_skew.is_none()
+    }
+
+    /// The deterministic skew fraction of `edge`'s clock in `[0, max_frac)`.
+    pub fn edge_skew_frac(&self, edge: usize) -> f64 {
+        match self.clock_skew {
+            Some(cs) => {
+                let u = mix64(self.seed ^ SKEW_SALT ^ (edge as u64)) >> 11;
+                cs.max_frac * (u as f64 / (1u64 << 53) as f64)
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Realizes every impairment for one flow of `pkts` packets in the epoch
+    /// identified by `epoch_seed`, writing the outcome into `out` (buffers
+    /// are reused across calls). `base_lost` is the loss plan's realized
+    /// drop count for this flow; plan drops are spread over the flow exactly
+    /// as [`spread_drop`] spreads them, then the impairments perturb the
+    /// pattern. The realization is a pure function of
+    /// `(self, flow_key, pkts, base_lost, epoch_seed, in_edge)`.
+    pub fn realize_flow(
+        &self,
+        out: &mut FlowFates,
+        flow_key: u64,
+        pkts: u64,
+        base_lost: u64,
+        epoch_seed: u64,
+        in_edge: usize,
+    ) {
+        out.delivered.clear();
+        out.dup.clear();
+        out.delivered
+            .extend((0..pkts).map(|i| !spread_drop(i, pkts, base_lost)));
+        let mut rng = StdRng::seed_from_u64(
+            mix64(self.seed ^ epoch_seed).wrapping_add(mix64(flow_key)),
+        );
+        if let Some(ge) = self.gilbert_elliott {
+            // Start the chain in its stationary distribution so short flows
+            // see the same loss statistics as long ones.
+            let denom = ge.p_enter_bad + ge.p_exit_bad;
+            let p_bad0 = if denom > 0.0 { ge.p_enter_bad / denom } else { 0.0 };
+            let mut bad = rng.gen_bool(p_bad0);
+            for i in 0..pkts as usize {
+                let p = if bad { ge.loss_bad } else { ge.loss_good };
+                if p > 0.0 && rng.gen_bool(p) {
+                    out.delivered[i] = false;
+                }
+                bad = if bad {
+                    !rng.gen_bool(ge.p_exit_bad)
+                } else {
+                    rng.gen_bool(ge.p_enter_bad)
+                };
+            }
+        }
+        if let Some(ro) = self.reordering {
+            let w = ro.window.max(1);
+            for i in 0..pkts {
+                if rng.gen_bool(ro.prob) {
+                    let j = i + rng.gen_range(1..=w);
+                    if j < pkts {
+                        out.delivered.swap(i as usize, j as usize);
+                    }
+                }
+            }
+        }
+        match self.duplication {
+            Some(du) => {
+                out.dup.extend(
+                    (0..pkts as usize)
+                        .map(|i| out.delivered[i] && rng.gen_bool(du.prob)),
+                );
+            }
+            None => out.dup.extend((0..pkts).map(|_| false)),
+        }
+        out.skew_split = {
+            let frac = self.edge_skew_frac(in_edge);
+            if frac > 0.0 && pkts > 0 {
+                // Packets are uniformly spread over the epoch; the flow's
+                // phase acts as stochastic rounding so a 5% skew mis-stamps
+                // ~5% of packets in expectation even for tiny flows.
+                let phase =
+                    (mix64(flow_key ^ epoch_seed ^ PHASE_SALT) >> 11) as f64
+                        / (1u64 << 53) as f64;
+                ((frac * pkts as f64 + phase).floor() as u64).min(pkts)
+            } else {
+                0
+            }
+        };
+    }
+}
+
+/// The realized fate of one flow's packets in one epoch: which indices are
+/// delivered, which delivered indices are duplicated in the fabric, and how
+/// many leading packets carry the previous epoch's timestamp bit.
+#[derive(Debug, Clone, Default)]
+pub struct FlowFates {
+    /// `delivered[i]` — packet `i` exits the network.
+    pub delivered: Vec<bool>,
+    /// `dup[i]` — packet `i` additionally traverses egress a second time
+    /// (only ever true for delivered packets).
+    pub dup: Vec<bool>,
+    /// The first `skew_split` packets are stamped with the previous epoch's
+    /// timestamp bit at ingress (and carry it to egress).
+    pub skew_split: u64,
+}
+
+impl FlowFates {
+    /// Packets of the flow that exit the network (duplicates not counted).
+    pub fn n_delivered(&self) -> u64 {
+        self.delivered.iter().filter(|&&d| d).count() as u64
+    }
+
+    /// Delivered packets with index in `[start, start + len)`.
+    pub fn delivered_in(&self, start: u64, len: u64) -> u64 {
+        self.delivered[start as usize..(start + len) as usize]
+            .iter()
+            .filter(|&&d| d)
+            .count() as u64
+    }
+
+    /// Fabric duplicates with index in `[start, start + len)`.
+    pub fn dups_in(&self, start: u64, len: u64) -> u64 {
+        self.dup[start as usize..(start + len) as usize]
+            .iter()
+            .filter(|&&d| d)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn realize(imp: &ImpairmentSet, key: u64, pkts: u64, lost: u64) -> FlowFates {
+        let mut f = FlowFates::default();
+        imp.realize_flow(&mut f, key, pkts, lost, 0x1234, 0);
+        f
+    }
+
+    #[test]
+    fn none_reproduces_spread_drop() {
+        let imp = ImpairmentSet::none();
+        assert!(imp.is_none());
+        let f = realize(&imp, 7, 100, 13);
+        assert_eq!(f.n_delivered(), 87);
+        for i in 0..100u64 {
+            assert_eq!(!f.delivered[i as usize], spread_drop(i, 100, 13));
+        }
+        assert_eq!(f.skew_split, 0);
+        assert!(f.dup.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn realization_is_deterministic() {
+        let imp = ImpairmentSet {
+            seed: 9,
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            duplication: Some(Duplication { prob: 0.1 }),
+            reordering: Some(Reordering { prob: 0.2, window: 4 }),
+            clock_skew: Some(ClockSkew { max_frac: 0.1 }),
+        };
+        let a = realize(&imp, 42, 500, 20);
+        let b = realize(&imp, 42, 500, 20);
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.dup, b.dup);
+        assert_eq!(a.skew_split, b.skew_split);
+        // A different flow sees a different realization.
+        let c = realize(&imp, 43, 500, 20);
+        assert_ne!(a.delivered, c.delivered);
+    }
+
+    #[test]
+    fn gilbert_elliott_adds_losses_in_bursts() {
+        let imp = ImpairmentSet {
+            seed: 3,
+            gilbert_elliott: Some(GilbertElliott {
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.2,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            }),
+            ..ImpairmentSet::none()
+        };
+        let f = realize(&imp, 11, 5_000, 0);
+        let lost = 5_000 - f.n_delivered();
+        assert!(lost > 0, "GE must drop something over 5000 packets");
+        // Burstiness: among lost packets, the fraction whose successor is
+        // also lost must far exceed the marginal loss rate.
+        let mut runs_of_two = 0u64;
+        for i in 0..4_999 {
+            if !f.delivered[i] && !f.delivered[i + 1] {
+                runs_of_two += 1;
+            }
+        }
+        let marginal = lost as f64 / 5_000.0;
+        assert!(
+            runs_of_two as f64 / lost as f64 > 2.0 * marginal,
+            "losses not bursty: {runs_of_two} adjacent pairs, {lost} lost"
+        );
+    }
+
+    #[test]
+    fn reordering_preserves_loss_count() {
+        let imp = ImpairmentSet {
+            seed: 5,
+            reordering: Some(Reordering { prob: 0.5, window: 16 }),
+            ..ImpairmentSet::none()
+        };
+        let f = realize(&imp, 21, 400, 40);
+        assert_eq!(f.n_delivered(), 360, "reordering must not change counts");
+        // But the drop pattern must differ from the clean spread.
+        let clean = realize(&ImpairmentSet::none(), 21, 400, 40);
+        assert_ne!(f.delivered, clean.delivered);
+    }
+
+    #[test]
+    fn duplication_only_hits_delivered_packets() {
+        let imp = ImpairmentSet {
+            seed: 6,
+            duplication: Some(Duplication { prob: 1.0 }),
+            ..ImpairmentSet::none()
+        };
+        let f = realize(&imp, 31, 100, 30);
+        for i in 0..100 {
+            assert_eq!(f.dup[i], f.delivered[i]);
+        }
+    }
+
+    #[test]
+    fn clock_skew_is_per_edge_and_bounded() {
+        let imp = ImpairmentSet {
+            seed: 7,
+            clock_skew: Some(ClockSkew { max_frac: 0.25 }),
+            ..ImpairmentSet::none()
+        };
+        let fracs: Vec<f64> = (0..4).map(|e| imp.edge_skew_frac(e)).collect();
+        assert!(fracs.iter().all(|&f| (0.0..0.25).contains(&f)));
+        assert!(
+            fracs.windows(2).any(|w| w[0] != w[1]),
+            "edges must not share one skew"
+        );
+        let mut f = FlowFates::default();
+        imp.realize_flow(&mut f, 77, 1_000, 0, 1, 2);
+        assert!(f.skew_split <= 1_000);
+        let expected = imp.edge_skew_frac(2) * 1_000.0;
+        assert!(
+            (f.skew_split as f64 - expected).abs() <= 1.0,
+            "split {} vs expected {expected}",
+            f.skew_split
+        );
+    }
+
+    #[test]
+    fn range_helpers_sum_to_totals() {
+        let imp = ImpairmentSet {
+            seed: 8,
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            duplication: Some(Duplication { prob: 0.3 }),
+            ..ImpairmentSet::none()
+        };
+        let f = realize(&imp, 99, 257, 19);
+        let mut del = 0;
+        let mut dups = 0;
+        let mut pos = 0;
+        for len in [0u64, 57, 100, 100] {
+            del += f.delivered_in(pos, len);
+            dups += f.dups_in(pos, len);
+            pos += len;
+        }
+        assert_eq!(del, f.n_delivered());
+        assert_eq!(dups, f.dup.iter().filter(|&&d| d).count() as u64);
+    }
+}

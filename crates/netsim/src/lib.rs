@@ -14,11 +14,16 @@
 //! * [`collect`] — the collection cost model of Appendix D.2/F (per-sketch
 //!   collection times, per-epoch bandwidth);
 //! * [`sim`] — the packet loop: replays a trace through ingress hooks,
-//!   drop decisions, and egress hooks, epoch by epoch.
+//!   drop decisions, and egress hooks, epoch by epoch;
+//! * [`impair`] — adversarial fabric impairments (Gilbert–Elliott bursty
+//!   loss, duplication, bounded reordering, per-edge clock skew), realized
+//!   per flow above the hook boundary so the per-packet and burst replays
+//!   stay byte-identical under any scenario.
 
 pub mod clock;
 pub mod detailed;
 pub mod header;
+pub mod impair;
 pub mod collect;
 pub mod sim;
 pub mod topology;
@@ -26,6 +31,9 @@ pub mod topology;
 pub use clock::{ClockModel, EpochClock};
 pub use detailed::{run_detailed, DetailedReport, DropPoint};
 pub use header::{decode_tos, encode_tos, CarriedState, IntShim};
+pub use impair::{
+    ClockSkew, Duplication, FlowFates, GilbertElliott, ImpairmentSet, Reordering,
+};
 pub use collect::CollectionModel;
 pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};
 pub use topology::{FatTree, SwitchId, SwitchRole};

@@ -4,6 +4,7 @@
 //! testbed run (DPDK senders, proactive ECN drops, ChameleMon on all four
 //! ToR switches).
 
+use crate::impair::{FlowFates, ImpairmentSet};
 use crate::topology::FatTree;
 use chm_common::{FiveTuple, FlowId};
 use chm_workloads::trace::ip_host;
@@ -102,10 +103,30 @@ impl<F: Copy + Eq + std::hash::Hash> EpochReport<F> {
 /// True when packet `i` of a `pkts`-packet flow is one of the `n_lost`
 /// drops, with drops spread evenly over the flow's packet sequence
 /// (`⌊(i+1)·L/P⌋ > ⌊i·L/P⌋` marks exactly `L` of `P` packets).
+///
+/// Degenerate inputs are clamped rather than left to the formula:
+/// `n_lost > pkts` behaves as `n_lost == pkts` (every packet drops — a loss
+/// count can never exceed the flow), and `pkts == 0` never drops (there is
+/// no packet to drop). So exactly `min(n_lost, pkts)` of the indices
+/// `0..pkts` return true.
 #[inline]
 pub fn spread_drop(i: u64, pkts: u64, n_lost: u64) -> bool {
-    debug_assert!(n_lost <= pkts);
-    (i + 1) * n_lost / pkts > i * n_lost / pkts
+    if pkts == 0 {
+        return false;
+    }
+    let l = n_lost.min(pkts);
+    (i + 1) * l / pkts > i * l / pkts
+}
+
+/// Prefix form of [`spread_drop`]: how many of the first `x` packets drop.
+/// `spread_drop(i, ..)` is true iff this function increases from `i` to
+/// `i + 1`, so both replay paths share one spreading rule.
+#[inline]
+pub fn spread_drop_prefix(x: u64, pkts: u64, n_lost: u64) -> u64 {
+    if pkts == 0 {
+        return 0;
+    }
+    x * n_lost.min(pkts) / pkts
 }
 
 /// The testbed simulator.
@@ -146,11 +167,7 @@ impl Simulator {
         hooks: &mut impl EdgeHooks<F>,
     ) -> EpochReport<F> {
         let ts_bit = self.current_ts_bit();
-        let epoch_seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(self.epoch);
+        let epoch_seed = self.epoch_seed();
         let (delivered, lost) = plan.apply_to_trace(trace, epoch_seed);
         for &(f, pkts) in &trace.flows {
             let in_edge = self.topology.edge_of_host(f.src_host());
@@ -195,11 +212,7 @@ impl Simulator {
         hooks: &mut impl BurstHooks<F>,
     ) -> EpochReport<F> {
         let ts_bit = self.current_ts_bit();
-        let epoch_seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(self.epoch);
+        let epoch_seed = self.epoch_seed();
         let (delivered, lost) = plan.apply_to_trace(trace, epoch_seed);
         for &(f, pkts) in &trace.flows {
             let in_edge = self.topology.edge_of_host(f.src_host());
@@ -213,8 +226,8 @@ impl Simulator {
                 if len == 0 {
                     continue;
                 }
-                let dropped =
-                    (pos + len) * n_lost / pkts - pos * n_lost / pkts;
+                let dropped = spread_drop_prefix(pos + len, pkts, n_lost)
+                    - spread_drop_prefix(pos, pkts, n_lost);
                 hooks.on_egress_burst(out_edge, &f, ts_bit, tag, len - dropped);
                 pos += len;
             }
@@ -223,6 +236,118 @@ impl Simulator {
         let report = EpochReport { delivered, lost, epoch: self.epoch };
         self.epoch += 1;
         report
+    }
+
+    /// Scenario replay, per-packet path: like [`run_epoch`](Self::run_epoch)
+    /// but with an [`ImpairmentSet`] perturbing the fabric — extra correlated
+    /// losses, duplicates re-traversing egress, reordered drop positions, and
+    /// clock-skewed timestamp bits. The epoch report's `delivered`/`lost`
+    /// reflect the *realized* fates (plan losses ∪ impairment losses;
+    /// duplicates are fabric noise and never counted as deliveries).
+    ///
+    /// With [`ImpairmentSet::none`] this is observationally identical to
+    /// [`run_epoch`](Self::run_epoch).
+    pub fn run_epoch_scenario<F: Routable>(
+        &mut self,
+        trace: &Trace<F>,
+        plan: &LossPlan<F>,
+        imp: &ImpairmentSet,
+        hooks: &mut impl EdgeHooks<F>,
+    ) -> EpochReport<F> {
+        let ts_bit = self.current_ts_bit();
+        let prev_bit = ts_bit ^ 1;
+        let epoch_seed = self.epoch_seed();
+        let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
+        let mut delivered = HashMap::with_capacity(trace.num_flows());
+        let mut lost = HashMap::new();
+        let mut fates = FlowFates::default();
+        for &(f, pkts) in &trace.flows {
+            let in_edge = self.topology.edge_of_host(f.src_host());
+            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let n_lost = base_lost.get(&f).copied().unwrap_or(0);
+            imp.realize_flow(&mut fates, f.key64(), pkts, n_lost, epoch_seed, in_edge);
+            for i in 0..pkts {
+                let ts = if i < fates.skew_split { prev_bit } else { ts_bit };
+                let tag = hooks.on_ingress(in_edge, &f, ts);
+                if fates.delivered[i as usize] {
+                    hooks.on_egress(out_edge, &f, ts, tag);
+                    if fates.dup[i as usize] {
+                        hooks.on_egress(out_edge, &f, ts, tag);
+                    }
+                }
+            }
+            let del = fates.n_delivered();
+            delivered.insert(f, del);
+            if del < pkts {
+                lost.insert(f, pkts - del);
+            }
+        }
+        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        self.epoch += 1;
+        report
+    }
+
+    /// Scenario replay, burst path: the batched twin of
+    /// [`run_epoch_scenario`](Self::run_epoch_scenario). Both paths consult
+    /// the same per-flow [`FlowFates`] realization, so the resulting sketch
+    /// state and epoch report are byte-identical — impairments live above
+    /// the hook boundary, not inside one path. A clock-skewed flow splits
+    /// into two ingress bursts (the mis-stamped prefix carries the previous
+    /// epoch's bit); each tag run's egress weight is the run's delivered
+    /// count plus its fabric duplicates.
+    pub fn run_epoch_burst_scenario<F: Routable>(
+        &mut self,
+        trace: &Trace<F>,
+        plan: &LossPlan<F>,
+        imp: &ImpairmentSet,
+        hooks: &mut impl BurstHooks<F>,
+    ) -> EpochReport<F> {
+        let ts_bit = self.current_ts_bit();
+        let prev_bit = ts_bit ^ 1;
+        let epoch_seed = self.epoch_seed();
+        let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
+        let mut delivered = HashMap::with_capacity(trace.num_flows());
+        let mut lost = HashMap::new();
+        let mut fates = FlowFates::default();
+        for &(f, pkts) in &trace.flows {
+            let in_edge = self.topology.edge_of_host(f.src_host());
+            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let n_lost = base_lost.get(&f).copied().unwrap_or(0);
+            imp.realize_flow(&mut fates, f.key64(), pkts, n_lost, epoch_seed, in_edge);
+            let k = fates.skew_split;
+            let mut pos = 0u64;
+            for (seg_ts, seg_len) in [(prev_bit, k), (ts_bit, pkts - k)] {
+                if seg_len == 0 {
+                    continue;
+                }
+                let runs = hooks.on_ingress_burst(in_edge, &f, seg_ts, seg_len);
+                for (tag, len) in runs {
+                    if len == 0 {
+                        continue;
+                    }
+                    let out = fates.delivered_in(pos, len) + fates.dups_in(pos, len);
+                    hooks.on_egress_burst(out_edge, &f, seg_ts, tag, out);
+                    pos += len;
+                }
+            }
+            debug_assert_eq!(pos, pkts, "tag runs must cover the whole burst");
+            let del = fates.n_delivered();
+            delivered.insert(f, del);
+            if del < pkts {
+                lost.insert(f, pkts - del);
+            }
+        }
+        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        self.epoch += 1;
+        report
+    }
+
+    /// The per-epoch seed every replay path derives loss realizations from.
+    fn epoch_seed(&self) -> u64 {
+        self.config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(self.epoch)
     }
 }
 
@@ -308,6 +433,131 @@ mod tests {
             r1.lost.values().collect::<Vec<_>>(),
             r2.lost.values().collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn spread_drop_zero_losses_drops_nothing() {
+        for pkts in [1u64, 2, 7, 1000] {
+            assert!((0..pkts).all(|i| !spread_drop(i, pkts, 0)));
+            assert_eq!(spread_drop_prefix(pkts, pkts, 0), 0);
+        }
+    }
+
+    #[test]
+    fn spread_drop_total_loss_drops_everything() {
+        for pkts in [1u64, 2, 7, 1000] {
+            assert!((0..pkts).all(|i| spread_drop(i, pkts, pkts)));
+            assert_eq!(spread_drop_prefix(pkts, pkts, pkts), pkts);
+        }
+    }
+
+    #[test]
+    fn spread_drop_excess_losses_clamp_to_flow_size() {
+        // n_lost > pkts cannot happen from a LossPlan (apply_to_trace caps),
+        // but the function is public: clamp instead of relying on the raw
+        // formula's accidental behavior.
+        for (pkts, n_lost) in [(5u64, 6u64), (5, 100), (1, u32::MAX as u64)] {
+            assert!((0..pkts).all(|i| spread_drop(i, pkts, n_lost)));
+            assert_eq!(spread_drop_prefix(pkts, pkts, n_lost), pkts);
+        }
+    }
+
+    #[test]
+    fn spread_drop_zero_packets_never_drops() {
+        assert!(!spread_drop(0, 0, 0));
+        assert!(!spread_drop(0, 0, 3));
+        assert_eq!(spread_drop_prefix(0, 0, 3), 0);
+    }
+
+    #[test]
+    fn spread_drop_marks_exactly_n_lost_spread_out() {
+        for (pkts, n_lost) in [(10u64, 3u64), (17, 5), (100, 1), (9, 9), (8, 12)]
+        {
+            let marks: Vec<u64> =
+                (0..pkts).filter(|&i| spread_drop(i, pkts, n_lost)).collect();
+            assert_eq!(marks.len() as u64, n_lost.min(pkts), "{pkts}/{n_lost}");
+            // Prefix form agrees with the per-index form at every cut.
+            for x in 0..=pkts {
+                assert_eq!(
+                    spread_drop_prefix(x, pkts, n_lost),
+                    marks.iter().filter(|&&i| i < x).count() as u64
+                );
+            }
+            // Spread: no run of drops longer than ceil(L/P)·… — adjacent
+            // drops only appear when L > P/2.
+            if n_lost <= pkts / 2 && n_lost > 0 {
+                assert!(marks.windows(2).all(|w| w[1] > w[0] + 1), "clustered");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_replay_with_no_impairments_matches_plain_replay() {
+        let trace = testbed_trace(WorkloadKind::Dctcp, 400, 8, 9);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.1), 0.05, 9);
+        let mut sim_a = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut sim_b = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut ha = Counter::default();
+        let mut hb = Counter::default();
+        let ra = sim_a.run_epoch(&trace, &plan, &mut ha);
+        let rb = sim_b.run_epoch_scenario(&trace, &plan, &ImpairmentSet::none(), &mut hb);
+        assert_eq!(ra.delivered, rb.delivered);
+        assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ha.ingress, hb.ingress);
+        assert_eq!(ha.egress, hb.egress);
+    }
+
+    #[test]
+    fn duplication_inflates_egress_but_not_report() {
+        let trace = testbed_trace(WorkloadKind::Dctcp, 300, 8, 10);
+        let imp = ImpairmentSet {
+            seed: 4,
+            duplication: Some(crate::impair::Duplication { prob: 1.0 }),
+            ..ImpairmentSet::none()
+        };
+        let mut sim = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut hooks = Counter::default();
+        let report = sim.run_epoch_scenario(&trace, &LossPlan::none(), &imp, &mut hooks);
+        let total: u64 = trace.flows.iter().map(|&(_, s)| s).sum();
+        assert!(report.lost.is_empty(), "duplication is not loss");
+        assert_eq!(report.total_sent(), total);
+        assert_eq!(hooks.ingress.values().sum::<u64>(), total);
+        // Every delivered packet egressed twice.
+        assert_eq!(hooks.egress.values().sum::<u64>(), 2 * total);
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_show_up_in_ground_truth() {
+        let trace = testbed_trace(WorkloadKind::Hadoop, 300, 8, 11);
+        let imp = ImpairmentSet {
+            seed: 5,
+            gilbert_elliott: Some(crate::impair::GilbertElliott::bursty()),
+            ..ImpairmentSet::none()
+        };
+        let mut sim = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut hooks = Counter::default();
+        let report = sim.run_epoch_scenario(&trace, &LossPlan::none(), &imp, &mut hooks);
+        let lost: u64 = report.lost.values().sum();
+        assert!(lost > 0, "GE must create victims without any loss plan");
+        let total: u64 = trace.flows.iter().map(|&(_, s)| s).sum();
+        assert_eq!(hooks.egress.values().sum::<u64>(), total - lost);
+    }
+
+    #[test]
+    fn clock_skew_stamps_a_prefix_with_previous_bit() {
+        let trace = testbed_trace(WorkloadKind::Vl2, 200, 8, 12);
+        let imp = ImpairmentSet {
+            seed: 6,
+            clock_skew: Some(crate::impair::ClockSkew { max_frac: 0.3 }),
+            ..ImpairmentSet::none()
+        };
+        let mut sim = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut hooks = Counter::default();
+        sim.run_epoch_scenario(&trace, &LossPlan::none(), &imp, &mut hooks);
+        // Epoch 0 (bit 0): mis-stamped packets carry bit 1.
+        let skewed = hooks.ts_bits.iter().filter(|&&b| b == 1).count();
+        assert!(skewed > 0, "0.3 max skew must mis-stamp something");
+        assert!(skewed < hooks.ts_bits.len() / 2, "skew must stay a minority");
     }
 
     #[test]

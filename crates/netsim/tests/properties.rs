@@ -1,0 +1,125 @@
+//! Property tests of the fat-tree: every ECMP route is valid wiring, hop
+//! counts follow pod locality, intra-rack flows never leave their ToR, and
+//! the spread-drop rule is exact at every cut.
+
+use chm_netsim::sim::{spread_drop, spread_drop_prefix};
+use chm_netsim::{FatTree, SwitchId, SwitchRole};
+use proptest::prelude::*;
+
+/// Checks one route end to end: endpoint correctness, wiring validity
+/// (edge→agg→core→agg→edge with pods respected), and locality-determined
+/// hop counts.
+fn check_route(t: &FatTree, src: usize, dst: usize, key: u64) -> Result<(), TestCaseError> {
+    let r = t.route(src, dst, key);
+    let se = t.edge_of_host(src);
+    let de = t.edge_of_host(dst);
+    let sp = t.pod_of_edge(se);
+    let dp = t.pod_of_edge(de);
+    prop_assert_eq!(
+        r.first().copied(),
+        Some(SwitchId { role: SwitchRole::Edge, index: se }),
+        "route must start at the source ToR"
+    );
+    prop_assert_eq!(
+        r.last().copied(),
+        Some(SwitchId { role: SwitchRole::Edge, index: de }),
+        "route must end at the destination ToR"
+    );
+    // Hop counts match pod locality.
+    let expected_len = if se == de {
+        1 // intra-rack: never leaves the ToR
+    } else if sp == dp {
+        3 // intra-pod: edge → agg → edge
+    } else {
+        5 // cross-pod: edge → agg → core → agg → edge
+    };
+    prop_assert_eq!(r.len(), expected_len, "hops must follow pod locality");
+    prop_assert_eq!(t.hops(src, dst, key), expected_len);
+    match r.len() {
+        1 => {}
+        3 => {
+            prop_assert_eq!(r[1].role, SwitchRole::Aggregation);
+            prop_assert_eq!(r[1].index / 2, sp, "agg must sit in the shared pod");
+        }
+        5 => {
+            prop_assert_eq!(r[1].role, SwitchRole::Aggregation);
+            prop_assert_eq!(r[2].role, SwitchRole::Core);
+            prop_assert_eq!(r[3].role, SwitchRole::Aggregation);
+            prop_assert_eq!(r[1].index / 2, sp, "up-agg must sit in the source pod");
+            prop_assert_eq!(r[3].index / 2, dp, "down-agg must sit in the dest pod");
+            prop_assert!(r[2].index < t.n_edge / 2, "core index in range");
+            // Fat-tree wiring: the chosen core pins the agg parity in both
+            // pods.
+            prop_assert_eq!(r[1].index % 2, r[2].index % 2);
+            prop_assert_eq!(r[3].index % 2, r[2].index % 2);
+        }
+        n => prop_assert!(false, "impossible route length {n}"),
+    }
+    // ECMP is deterministic per flow key.
+    prop_assert_eq!(r, t.route(src, dst, key));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every host pair's route is valid wiring on the testbed fat-tree.
+    #[test]
+    fn testbed_routes_are_valid(
+        src in 0usize..8,
+        dst in 0usize..8,
+        key in any::<u64>(),
+    ) {
+        check_route(&FatTree::testbed(), src, dst, key)?;
+    }
+
+    /// The wiring invariants hold on scaled fat-trees too (2–8 edge
+    /// switches, 1–4 hosts per rack).
+    #[test]
+    fn scaled_routes_are_valid(
+        n_edge_half in 1usize..5,
+        hosts_per_edge in 1usize..5,
+        pair in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let t = FatTree { n_edge: 2 * n_edge_half, hosts_per_edge };
+        let n = t.n_hosts() as u64;
+        let src = (pair % n) as usize;
+        let dst = ((pair / n) % n) as usize;
+        check_route(&t, src, dst, key)?;
+    }
+
+    /// Intra-rack flows never leave the ToR, for any flow key.
+    #[test]
+    fn intra_rack_never_leaves_tor(rack in 0usize..4, key in any::<u64>()) {
+        let t = FatTree::testbed();
+        let (a, b) = (2 * rack, 2 * rack + 1);
+        for (s, d) in [(a, b), (b, a), (a, a)] {
+            let r = t.route(s, d, key);
+            prop_assert_eq!(r.len(), 1);
+            prop_assert_eq!(r[0], SwitchId { role: SwitchRole::Edge, index: rack });
+        }
+    }
+
+    /// `spread_drop` marks exactly `min(n_lost, pkts)` indices and its
+    /// prefix form counts them at every cut.
+    #[test]
+    fn spread_drop_exact_at_every_cut(
+        pkts in 1u64..5_000,
+        n_lost in 0u64..6_000,
+    ) {
+        let mut marked = 0u64;
+        for i in 0..pkts {
+            prop_assert_eq!(
+                spread_drop_prefix(i, pkts, n_lost),
+                marked,
+                "prefix disagrees at {i}"
+            );
+            if spread_drop(i, pkts, n_lost) {
+                marked += 1;
+            }
+        }
+        prop_assert_eq!(marked, n_lost.min(pkts));
+        prop_assert_eq!(spread_drop_prefix(pkts, pkts, n_lost), marked);
+    }
+}

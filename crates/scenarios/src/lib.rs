@@ -1,0 +1,344 @@
+//! **Adversarial scenario engine** for the ChameleMon reproduction.
+//!
+//! The paper's evaluation (§5) exercises clean Bernoulli/spread loss on a
+//! healthy fat-tree. Real networks do worse: they lose packets in
+//! correlated bursts, duplicate and reorder them, disagree about what time
+//! it is, drop the *measurement reports themselves*, and churn flows under
+//! the controller's feet. This crate composes those pathologies into named,
+//! seeded, deterministic **scenarios** and drives them through the full
+//! stack — `Simulator` → `EdgeDataPlane` → `Controller` — end to end,
+//! scoring every epoch's loss detection (F1, ARE) and decode health.
+//!
+//! Three layers compose:
+//!
+//! * **per-packet impairments** ([`chm_netsim::impair`]): Gilbert–Elliott
+//!   bursty loss, duplication, bounded reordering, per-edge clock skew —
+//!   realized per flow *above* the hook boundary, so the per-packet and
+//!   burst replays stay byte-identical under every scenario (the PR-2
+//!   contract, property-tested in `tests/differential.rs`);
+//! * **per-epoch dynamics** ([`chm_workloads`]): flow churn
+//!   ([`FlowChurn`]), heavy-hitter floods ([`FloodModel`]), victim drift
+//!   ([`VictimDrift`]);
+//! * **control-channel loss**: each switch's collected sketch group reaches
+//!   the controller only with probability `1 − report_loss` per epoch
+//!   (the controller tolerates partial and even empty collections).
+//!
+//! ```
+//! use chm_scenarios::{ReplayMode, Scenario};
+//!
+//! let s = Scenario::builder("demo")
+//!     .seed(7)
+//!     .flows(400)
+//!     .epochs(3)
+//!     .gilbert_elliott(0.02, 0.25, 0.0, 0.5)
+//!     .duplication(0.02)
+//!     .build();
+//! let r = chm_scenarios::run(&s, ReplayMode::Burst);
+//! assert_eq!(r.epochs.len(), 3);
+//! assert!(r.mean_f1 > 0.5, "bursty loss should still be mostly detected");
+//! ```
+//!
+//! The [`standard_matrix`] is the golden scenario set behind
+//! `chm-bench scenarios` and `results/SCENARIOS.json`.
+
+mod matrix;
+mod runner;
+
+pub use matrix::standard_matrix;
+pub use runner::{
+    run, run_with_config, EpochMetrics, EpochTrace, ReplayMode, ScenarioResult,
+    ScenarioStack, CFG_SALT,
+};
+
+use chm_netsim::impair::{ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering};
+use chm_workloads::{
+    testbed_trace, FlowChurn, FloodModel, LossPlan, Trace, VictimDrift, VictimSelection,
+    WorkloadKind,
+};
+use chm_common::hash::mix64;
+use chm_common::FiveTuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt separating the base-trace RNG stream from the scenario seed.
+const TRACE_SALT: u64 = 0x7261_6365; // "race"
+/// Salt separating the loss-plan RNG stream.
+const PLAN_SALT: u64 = 0x706c_616e; // "plan"
+/// Salt separating the report-channel RNG stream.
+const REPORT_SALT: u64 = 0x7265_7074; // "rept"
+
+/// A named, seeded, fully deterministic adversarial scenario: a workload, a
+/// loss plan, a set of fabric impairments, per-epoch dynamics, and a
+/// control-channel loss rate. Build one with [`Scenario::builder`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (stable key in `SCENARIOS.json`).
+    pub name: String,
+    /// Master seed; every random choice in the scenario derives from it.
+    pub seed: u64,
+    /// Number of epochs to run.
+    pub epochs: u64,
+    /// Flows in the base trace.
+    pub n_flows: usize,
+    /// Hosts in the fat-tree (testbed: 8).
+    pub n_hosts: u32,
+    /// Flow-size distribution of the base trace.
+    pub workload: WorkloadKind,
+    /// Victim selection for the loss plan.
+    pub selection: VictimSelection,
+    /// Per-victim packet loss rate.
+    pub loss_rate: f64,
+    /// Fabric impairments (loss bursts, duplicates, reordering, skew).
+    pub impairments: ImpairmentSet,
+    /// Per-epoch flow churn.
+    pub churn: Option<FlowChurn>,
+    /// Periodic heavy-hitter floods.
+    pub flood: Option<FloodModel>,
+    /// Per-epoch victim drift.
+    pub drift: Option<VictimDrift>,
+    /// Probability that one switch's collected report is lost in one epoch.
+    pub report_loss: f64,
+}
+
+impl Scenario {
+    /// Starts building a scenario with sane defaults: 8 hosts, DCTCP
+    /// workload, 10% random victims at 5% loss, no impairments, no
+    /// dynamics, a perfect control channel.
+    pub fn builder(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder {
+            inner: Scenario {
+                name: name.to_string(),
+                seed: 0xc4a3,
+                epochs: 4,
+                n_flows: 1_000,
+                n_hosts: 8,
+                workload: WorkloadKind::Dctcp,
+                selection: VictimSelection::RandomRatio(0.1),
+                loss_rate: 0.05,
+                impairments: ImpairmentSet::none(),
+                churn: None,
+                flood: None,
+                drift: None,
+                report_loss: 0.0,
+            },
+        }
+    }
+
+    /// The base (epoch-0) trace.
+    pub fn base_trace(&self) -> Trace<FiveTuple> {
+        testbed_trace(
+            self.workload,
+            self.n_flows,
+            self.n_hosts,
+            self.seed ^ TRACE_SALT,
+        )
+    }
+
+    /// The flow set live in `epoch`: the base trace evolved by churn, then
+    /// hit by any flood due this epoch.
+    pub fn trace_for_epoch(&self, base: &Trace<FiveTuple>, epoch: u64) -> Trace<FiveTuple> {
+        let evolved = match &self.churn {
+            Some(c) => c.evolve(base, epoch, self.n_hosts, self.workload),
+            None => base.clone(),
+        };
+        match &self.flood {
+            Some(f) => f.apply(&evolved, epoch, self.n_hosts),
+            None => evolved,
+        }
+    }
+
+    /// The loss plan for `epoch` over that epoch's trace.
+    pub fn plan_for_epoch(&self, trace: &Trace<FiveTuple>, epoch: u64) -> LossPlan<FiveTuple> {
+        match &self.drift {
+            Some(d) => d.plan(trace, self.selection, self.loss_rate, epoch),
+            None => LossPlan::build(trace, self.selection, self.loss_rate, self.seed ^ PLAN_SALT),
+        }
+    }
+
+    /// Which of `n_edges` switches' reports reach the controller in
+    /// `epoch` — seeded per epoch, independent per switch.
+    pub fn reports_received(&self, epoch: u64, n_edges: usize) -> Vec<bool> {
+        if self.report_loss <= 0.0 {
+            return vec![true; n_edges];
+        }
+        let mut rng =
+            StdRng::seed_from_u64(mix64(self.seed ^ REPORT_SALT).wrapping_add(epoch));
+        (0..n_edges).map(|_| !rng.gen_bool(self.report_loss)).collect()
+    }
+}
+
+/// Fluent [`Scenario`] constructor; every setter returns `self`.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    inner: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the epoch count.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.inner.epochs = epochs;
+        self
+    }
+
+    /// Sets the base trace's flow count.
+    pub fn flows(mut self, n: usize) -> Self {
+        self.inner.n_flows = n;
+        self
+    }
+
+    /// Sets the host count (and thereby the edge-switch fan-out).
+    pub fn hosts(mut self, n: u32) -> Self {
+        self.inner.n_hosts = n;
+        self
+    }
+
+    /// Sets the flow-size workload.
+    pub fn workload(mut self, w: WorkloadKind) -> Self {
+        self.inner.workload = w;
+        self
+    }
+
+    /// Sets the victim selection and per-victim loss rate.
+    pub fn loss(mut self, selection: VictimSelection, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate out of range");
+        self.inner.selection = selection;
+        self.inner.loss_rate = rate;
+        self
+    }
+
+    /// Adds Gilbert–Elliott bursty loss.
+    pub fn gilbert_elliott(
+        mut self,
+        p_enter_bad: f64,
+        p_exit_bad: f64,
+        loss_good: f64,
+        loss_bad: f64,
+    ) -> Self {
+        for p in [p_enter_bad, p_exit_bad, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "GE probability out of range");
+        }
+        self.inner.impairments.gilbert_elliott =
+            Some(GilbertElliott { p_enter_bad, p_exit_bad, loss_good, loss_bad });
+        self
+    }
+
+    /// Adds fabric packet duplication.
+    pub fn duplication(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "duplication prob out of range");
+        self.inner.impairments.duplication = Some(Duplication { prob });
+        self
+    }
+
+    /// Adds bounded packet reordering.
+    pub fn reordering(mut self, prob: f64, window: u64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "reorder prob out of range");
+        assert!(window >= 1, "reorder window must be >= 1");
+        self.inner.impairments.reordering = Some(Reordering { prob, window });
+        self
+    }
+
+    /// Adds per-edge 1-bit-timestamp clock skew.
+    pub fn clock_skew(mut self, max_frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&max_frac), "skew fraction out of range");
+        self.inner.impairments.clock_skew = Some(ClockSkew { max_frac });
+        self
+    }
+
+    /// Adds per-epoch flow churn.
+    pub fn churn(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "churn rate out of range");
+        self.inner.churn = Some(FlowChurn { rate, seed: self.inner.seed ^ 0xc447 });
+        self
+    }
+
+    /// Adds periodic heavy-hitter floods.
+    pub fn flood(mut self, period: u64, n_flows: usize, pkts_per_flow: u64) -> Self {
+        assert!(period >= 1, "flood period must be >= 1");
+        self.inner.flood = Some(FloodModel {
+            period,
+            n_flows,
+            pkts_per_flow,
+            seed: self.inner.seed ^ 0xf100d,
+        });
+        self
+    }
+
+    /// Adds per-epoch victim drift.
+    pub fn victim_drift(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "drift fraction out of range");
+        self.inner.drift = Some(VictimDrift { frac, seed: self.inner.seed ^ 0xd21f7 });
+        self
+    }
+
+    /// Sets the per-switch per-epoch report-loss probability.
+    pub fn report_loss(mut self, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "report loss out of range");
+        self.inner.report_loss = prob;
+        self
+    }
+
+    /// Finalizes the scenario. The impairment seed is pinned to the
+    /// scenario seed here so a builder chain can set `.seed()` at any
+    /// position.
+    pub fn build(mut self) -> Scenario {
+        self.inner.impairments.seed = self.inner.seed ^ 0x1a7a;
+        if let Some(c) = &mut self.inner.churn {
+            c.seed = self.inner.seed ^ 0xc447;
+        }
+        if let Some(f) = &mut self.inner.flood {
+            f.seed = self.inner.seed ^ 0xf100d;
+        }
+        if let Some(d) = &mut self.inner.drift {
+            d.seed = self.inner.seed ^ 0xd21f7;
+        }
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_clean() {
+        let s = Scenario::builder("x").build();
+        assert!(s.impairments.is_none());
+        assert!(s.churn.is_none() && s.flood.is_none() && s.drift.is_none());
+        assert_eq!(s.report_loss, 0.0);
+        assert_eq!(s.reports_received(3, 4), vec![true; 4]);
+    }
+
+    #[test]
+    fn builder_seed_position_does_not_matter() {
+        let a = Scenario::builder("x").seed(9).churn(0.1).build();
+        let b = Scenario::builder("x").churn(0.1).seed(9).build();
+        assert_eq!(a.churn, b.churn);
+        assert_eq!(a.impairments, b.impairments);
+    }
+
+    #[test]
+    fn epoch_trace_is_deterministic() {
+        let s = Scenario::builder("x").seed(3).churn(0.2).flood(2, 5, 1_000).build();
+        let base = s.base_trace();
+        let t1 = s.trace_for_epoch(&base, 3);
+        let t2 = s.trace_for_epoch(&base, 3);
+        assert_eq!(t1.flows, t2.flows);
+    }
+
+    #[test]
+    fn report_channel_losses_are_seeded_per_epoch() {
+        let s = Scenario::builder("x").seed(5).report_loss(0.5).build();
+        let a = s.reports_received(0, 4);
+        assert_eq!(a, s.reports_received(0, 4));
+        let distinct = (0..32).map(|e| s.reports_received(e, 4)).collect::<Vec<_>>();
+        assert!(distinct.iter().any(|v| v != &a), "epochs must differ");
+        let lost: usize = distinct.iter().flatten().filter(|&&k| !k).count();
+        assert!((32..96).contains(&lost), "~50% of 128 reports should drop, got {lost}");
+    }
+}

@@ -1,0 +1,156 @@
+//! The golden scenario matrix: the named adversarial conditions every PR is
+//! scored against (`chm-bench scenarios` → `results/SCENARIOS.json`).
+//!
+//! Each scenario isolates one pathology; `perfect-storm` composes them all
+//! at milder intensities. Seeds are fixed per scenario, so the whole matrix
+//! is reproducible bit for bit — same seed, byte-identical JSON.
+
+use crate::Scenario;
+use chm_workloads::{VictimSelection, WorkloadKind};
+
+/// The standard ≥8-scenario matrix. `quick` shrinks flow counts and epoch
+/// counts to CI-smoke size without changing the scenario set.
+pub fn standard_matrix(quick: bool) -> Vec<Scenario> {
+    let (flows, epochs) = if quick { (600, 4) } else { (2_500, 8) };
+    let sel = VictimSelection::RandomRatio(0.1);
+    vec![
+        // The paper's own regime: Bernoulli loss, healthy fabric. The
+        // matrix's control — every other scenario degrades from here.
+        Scenario::builder("baseline")
+            .seed(0xA110)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(sel, 0.05)
+            .build(),
+        // Correlated loss bursts: victims lose runs of packets, not
+        // scattered singles.
+        Scenario::builder("gilbert-elliott")
+            .seed(0xA111)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(sel, 0.02)
+            .gilbert_elliott(0.02, 0.25, 0.0, 0.5)
+            .build(),
+        // Fabric duplicates traverse egress twice: downstream counts exceed
+        // upstream, pushing delta-encoder buckets negative.
+        Scenario::builder("duplication")
+            .seed(0xA112)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Vl2)
+            .loss(sel, 0.05)
+            .duplication(0.05)
+            .build(),
+        // Bounded reordering moves losses across LL/HL/HH tag boundaries.
+        Scenario::builder("reordering")
+            .seed(0xA113)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(sel, 0.05)
+            .reordering(0.25, 8)
+            .build(),
+        // Lagging edge clocks mis-stamp epoch-boundary packets into the
+        // neighboring sketch group (Appendix B's failure mode).
+        Scenario::builder("clock-skew")
+            .seed(0xA114)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Hadoop)
+            .loss(sel, 0.05)
+            .clock_skew(0.05)
+            .build(),
+        // The control channel itself drops collected sketch reports.
+        Scenario::builder("report-loss")
+            .seed(0xA115)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(sel, 0.05)
+            .report_loss(0.25)
+            .build(),
+        // Flows arrive and depart between epochs; the controller's
+        // load-factor targets chase a moving population.
+        Scenario::builder("flow-churn")
+            .seed(0xA116)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Vl2)
+            .loss(sel, 0.05)
+            .churn(0.15)
+            .build(),
+        // Periodic heavy-hitter floods fatten the size distribution's tail
+        // and slam the HH encoder's load target.
+        Scenario::builder("hh-flood")
+            .seed(0xA117)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Cache)
+            .loss(sel, 0.05)
+            .flood(3, flows / 50, 2_000)
+            .build(),
+        // The victim set slides every epoch: yesterday's victims recover,
+        // healthy flows start losing.
+        Scenario::builder("victim-drift")
+            .seed(0xA118)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(sel, 0.05)
+            .victim_drift(0.3)
+            .build(),
+        // Everything at once, milder: the fabric a pessimist expects.
+        Scenario::builder("perfect-storm")
+            .seed(0xA119)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Hadoop)
+            .loss(sel, 0.03)
+            .gilbert_elliott(0.01, 0.3, 0.0, 0.4)
+            .duplication(0.02)
+            .reordering(0.1, 4)
+            .clock_skew(0.02)
+            .report_loss(0.1)
+            .churn(0.05)
+            .victim_drift(0.15)
+            .build(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_has_at_least_eight_distinct_scenarios() {
+        let m = standard_matrix(false);
+        assert!(m.len() >= 8, "matrix too small: {}", m.len());
+        let names: std::collections::HashSet<&str> =
+            m.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), m.len(), "duplicate scenario names");
+        for required in [
+            "gilbert-elliott",
+            "duplication",
+            "reordering",
+            "flow-churn",
+            "hh-flood",
+        ] {
+            assert!(names.contains(required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn quick_matrix_is_same_set_smaller_sizing() {
+        let full = standard_matrix(false);
+        let quick = standard_matrix(true);
+        assert_eq!(full.len(), quick.len());
+        for (f, q) in full.iter().zip(&quick) {
+            assert_eq!(f.name, q.name);
+            assert_eq!(f.seed, q.seed);
+            assert!(q.n_flows < f.n_flows);
+            assert!(q.epochs <= f.epochs);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Drives a [`Scenario`] through the full measurement pipeline — trace
+//! replay with impairments, zero-clone collection over a (possibly lossy)
+//! control channel, controller analysis, reconfiguration, epoch flip — and
+//! scores every epoch's loss detection against the simulator's ground
+//! truth.
+//!
+//! The stack mirrors `chamelemon::ChameleMon` but keeps every stage
+//! explicit so the differential tests can compare the per-packet and burst
+//! replay paths epoch by epoch: [`ScenarioStack::step_epoch`] returns the
+//! epoch's ground truth, the collected sketch groups of **all** switches
+//! (before report loss filters them), and the controller's decoded view.
+
+use crate::Scenario;
+use chamelemon::config::DataPlaneConfig;
+use chamelemon::dataplane::Hierarchy;
+use chamelemon::{CollectedGroup, Controller, EdgeDataPlane, RuntimeConfig};
+use chm_common::metrics::{average_relative_error, detection_score};
+use chm_common::FiveTuple;
+use chm_netsim::sim::{BurstHooks, EdgeHooks, EpochReport};
+use chm_netsim::{FatTree, SimConfig, Simulator};
+use chm_workloads::Trace;
+use std::collections::{HashMap, HashSet};
+
+/// Which replay path drives the epoch. Both must be observationally
+/// identical under every scenario — that is the burst-replay equivalence
+/// contract the impairment layer preserves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// One hook call per packet ([`Simulator::run_epoch_scenario`]).
+    PerPacket,
+    /// One hook call per flow segment
+    /// ([`Simulator::run_epoch_burst_scenario`]).
+    Burst,
+}
+
+/// One epoch's scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochMetrics {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Victim-detection F1 (reported victims vs ground-truth victims).
+    pub f1: f64,
+    /// Victim-detection precision.
+    pub precision: f64,
+    /// Victim-detection recall.
+    pub recall: f64,
+    /// Average relative error of the per-victim loss estimates.
+    pub are: f64,
+    /// All deployed encoders decoded this epoch (HH everywhere, and each
+    /// delta encoder that had memory). `false` when no report arrived.
+    pub decode_ok: bool,
+    /// Switch reports that reached the controller.
+    pub reports_received: usize,
+    /// Ground-truth victim flows.
+    pub true_victims: usize,
+    /// Victim flows the controller reported.
+    pub reported_victims: usize,
+    /// Flows live this epoch.
+    pub flows: usize,
+    /// Packets sent into the fabric this epoch.
+    pub packets_sent: u64,
+}
+
+/// Everything observable from one stepped epoch — enough for the
+/// differential tests to compare two replay modes bit for bit.
+pub struct EpochTrace {
+    /// Ground truth from the fabric.
+    pub report: EpochReport<FiveTuple>,
+    /// The collected groups of **all** edges (pre report-loss).
+    pub collected: Vec<CollectedGroup<FiveTuple>>,
+    /// Which of those reports reached the controller.
+    pub received: Vec<bool>,
+    /// The controller's per-victim loss estimates.
+    pub loss_report: HashMap<FiveTuple, u64>,
+    /// The runtime staged for the next epoch.
+    pub staged: RuntimeConfig,
+    /// The epoch's scorecard.
+    pub metrics: EpochMetrics,
+}
+
+/// A whole scenario's result: per-epoch scorecards plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Replay mode that produced the result.
+    pub mode: ReplayMode,
+    /// Per-epoch scorecards, in epoch order.
+    pub epochs: Vec<EpochMetrics>,
+    /// Mean victim-detection F1 over all epochs.
+    pub mean_f1: f64,
+    /// Mean per-victim loss-estimate ARE over all epochs.
+    pub mean_are: f64,
+    /// Fraction of epochs with every deployed encoder decoding.
+    pub decode_success: f64,
+    /// Fraction of switch reports that survived the control channel.
+    pub report_delivery: f64,
+}
+
+/// The live stack: per-edge data planes, the central controller, and the
+/// simulator, stepped one epoch at a time.
+pub struct ScenarioStack {
+    /// One data plane per edge switch.
+    pub edges: Vec<EdgeDataPlane<FiveTuple>>,
+    /// The central controller.
+    pub controller: Controller<FiveTuple>,
+    /// The fabric simulator.
+    pub simulator: Simulator,
+}
+
+struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
+
+impl EdgeHooks<FiveTuple> for EdgeArray<'_> {
+    fn on_ingress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8) -> u8 {
+        self.0[edge].on_ingress(f, ts_bit).to_tag()
+    }
+    fn on_egress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8) {
+        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
+    }
+}
+
+impl BurstHooks<FiveTuple> for EdgeArray<'_> {
+    fn on_ingress_burst(
+        &mut self,
+        edge: usize,
+        f: &FiveTuple,
+        ts_bit: u8,
+        pkts: u64,
+    ) -> [(u8, u64); 3] {
+        self.0[edge]
+            .on_ingress_burst(f, ts_bit, pkts)
+            .map(|(h, n)| (h.to_tag(), n))
+    }
+    fn on_egress_burst(
+        &mut self,
+        edge: usize,
+        f: &FiveTuple,
+        ts_bit: u8,
+        tag: u8,
+        delivered: u64,
+    ) {
+        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
+    }
+}
+
+impl ScenarioStack {
+    /// Builds the stack for `s` over the §5.2 testbed topology with the
+    /// scaled-down data-plane configuration (the scenario engine's default;
+    /// the matrix sizes workloads to it).
+    pub fn new(s: &Scenario) -> Self {
+        Self::with_config(s, DataPlaneConfig::small(s.seed ^ CFG_SALT))
+    }
+
+    /// Builds the stack with an explicit data-plane configuration.
+    pub fn with_config(s: &Scenario, cfg: DataPlaneConfig) -> Self {
+        let topology = FatTree {
+            n_edge: (s.n_hosts as usize).div_ceil(2).max(2),
+            hosts_per_edge: 2,
+        };
+        let runtime = RuntimeConfig::initial(&cfg);
+        let edges = (0..topology.n_edge)
+            .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
+            .collect();
+        ScenarioStack {
+            edges,
+            controller: Controller::new(cfg),
+            simulator: Simulator::new(
+                topology,
+                SimConfig { epoch_ms: 50.0, seed: s.seed ^ 0x51b },
+            ),
+        }
+    }
+
+    /// Runs one epoch of `s` under `mode`: evolve the workload, replay with
+    /// impairments, collect (dropping lost reports), analyze, reconfigure,
+    /// flip — returning everything observable for scoring and differential
+    /// comparison.
+    pub fn step_epoch(
+        &mut self,
+        s: &Scenario,
+        base: &Trace<FiveTuple>,
+        mode: ReplayMode,
+    ) -> EpochTrace {
+        let epoch = self.simulator.current_epoch();
+        let trace = s.trace_for_epoch(base, epoch);
+        let plan = s.plan_for_epoch(&trace, epoch);
+        let report = {
+            let mut hooks = EdgeArray(&mut self.edges);
+            match mode {
+                ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
+                    &trace,
+                    &plan,
+                    &s.impairments,
+                    &mut hooks,
+                ),
+                ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
+                    &trace,
+                    &plan,
+                    &s.impairments,
+                    &mut hooks,
+                ),
+            }
+        };
+        let ts_bit = (report.epoch & 1) as u8;
+        let collected: Vec<CollectedGroup<FiveTuple>> =
+            self.edges.iter_mut().map(|e| e.take_group(ts_bit)).collect();
+        let received = s.reports_received(report.epoch, collected.len());
+        // Only a lossy control channel pays for sketch clones: the common
+        // all-arrived epoch analyzes the taken groups in place, preserving
+        // PR 2's zero-clone collection on the paths that benchmark it.
+        let analysis = if received.iter().all(|&keep| keep) {
+            self.controller.analyze_epoch(&collected)
+        } else {
+            let arrived: Vec<CollectedGroup<FiveTuple>> = collected
+                .iter()
+                .zip(&received)
+                .filter(|&(_, &keep)| keep)
+                .map(|(g, _)| g.clone())
+                .collect();
+            self.controller.analyze_epoch(&arrived)
+        };
+        let staged = self.controller.reconfigure(&analysis);
+        for e in &mut self.edges {
+            e.stage_runtime(staged);
+            e.flip(ts_bit);
+        }
+
+        let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
+        let score = detection_score(analysis.loss_report.keys().copied(), &truth);
+        let are = average_relative_error(&report.lost, &analysis.loss_report);
+        let rt = analysis.runtime;
+        let decode_ok = analysis.switches_reporting > 0
+            && analysis.hh_decode_ok
+            && (rt.partition.m_hl == 0 || analysis.hl_flowset.is_some())
+            && (rt.partition.m_ll == 0 || analysis.ll_flowset.is_some());
+        let metrics = EpochMetrics {
+            epoch: report.epoch,
+            f1: score.f1,
+            precision: score.precision,
+            recall: score.recall,
+            are,
+            decode_ok,
+            reports_received: analysis.switches_reporting,
+            true_victims: truth.len(),
+            reported_victims: analysis.loss_report.len(),
+            flows: trace.num_flows(),
+            packets_sent: report.total_sent(),
+        };
+        EpochTrace {
+            report,
+            collected,
+            received,
+            loss_report: analysis.loss_report,
+            staged,
+            metrics,
+        }
+    }
+}
+
+/// Salt separating the data-plane hash seeds from the scenario seed.
+pub const CFG_SALT: u64 = 0xd9c0;
+
+/// Runs `s` to completion under `mode` and aggregates the scorecards,
+/// using the scaled-down data plane ([`ScenarioStack::new`]).
+pub fn run(s: &Scenario, mode: ReplayMode) -> ScenarioResult {
+    run_with_config(s, mode, DataPlaneConfig::small(s.seed ^ CFG_SALT))
+}
+
+/// Runs `s` under `mode` on an explicit data-plane configuration (the full
+/// matrix uses the paper's §5.2 parameters; quick/CI sizing uses
+/// [`DataPlaneConfig::small`]).
+pub fn run_with_config(
+    s: &Scenario,
+    mode: ReplayMode,
+    cfg: DataPlaneConfig,
+) -> ScenarioResult {
+    let mut stack = ScenarioStack::with_config(s, cfg);
+    let base = s.base_trace();
+    let mut epochs = Vec::with_capacity(s.epochs as usize);
+    let mut delivered_reports = 0usize;
+    let mut total_reports = 0usize;
+    for _ in 0..s.epochs {
+        let t = stack.step_epoch(s, &base, mode);
+        delivered_reports += t.metrics.reports_received;
+        total_reports += stack.edges.len();
+        epochs.push(t.metrics);
+    }
+    let n = epochs.len().max(1) as f64;
+    let mean_f1 = epochs.iter().map(|e| e.f1).sum::<f64>() / n;
+    let mean_are = epochs.iter().map(|e| e.are).sum::<f64>() / n;
+    let decode_success =
+        epochs.iter().filter(|e| e.decode_ok).count() as f64 / n;
+    let report_delivery = if total_reports == 0 {
+        1.0
+    } else {
+        delivered_reports as f64 / total_reports as f64
+    };
+    ScenarioResult {
+        name: s.name.clone(),
+        mode,
+        epochs,
+        mean_f1,
+        mean_are,
+        decode_success,
+        report_delivery,
+    }
+}

@@ -6,6 +6,8 @@
 //! software analogue: a per-flow drop probability that the simulator (or a
 //! direct trace replay) consults for every packet.
 
+use chm_common::hash::mix64;
+use chm_common::FlowId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -128,6 +130,69 @@ impl<F: Copy + Eq + Hash + Ord> LossPlan<F> {
     }
 }
 
+/// Per-epoch victim drift: the set of victim flows slides over time — each
+/// epoch, roughly a `frac` fraction of the victims recover while an equal
+/// number of healthy flows start losing packets. Modeled as a sliding
+/// window over the flows ordered by a seeded **per-flow hash priority**
+/// (wrapping around), so consecutive epochs share `1 − frac` of their
+/// victims and the whole trajectory is reproducible from the seed.
+///
+/// The priority order is a pure function of each flow's identity, not of
+/// its position in the trace — so when drift composes with flow churn or
+/// floods, surviving flows keep their relative order and the promised
+/// overlap degrades only by the churned fraction (a positional shuffle
+/// would reshuffle the survivors wholesale and collapse the overlap).
+///
+/// Drift replaces the *membership* policy of a [`VictimSelection`] but keeps
+/// its count: `LargestN(n)`/`RandomN(n)` drift over `n`-sized windows,
+/// `RandomRatio(r)` over `round(r·flows)`-sized ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VictimDrift {
+    /// Fraction of the victim set replaced per epoch, in `[0, 1]`.
+    pub frac: f64,
+    /// Seed of the drift trajectory.
+    pub seed: u64,
+}
+
+impl VictimDrift {
+    /// Builds epoch `epoch`'s loss plan: a window of victims at the drift
+    /// offset, each losing at `loss_rate`.
+    pub fn plan<F: FlowId>(
+        &self,
+        trace: &Trace<F>,
+        selection: VictimSelection,
+        loss_rate: f64,
+        epoch: u64,
+    ) -> LossPlan<F> {
+        assert!((0.0..=1.0).contains(&self.frac), "drift fraction out of range");
+        let n_flows = trace.num_flows();
+        let n_victims = match selection {
+            VictimSelection::LargestN(n) | VictimSelection::RandomN(n) => n,
+            VictimSelection::RandomRatio(r) => {
+                assert!((0.0..=1.0).contains(&r), "ratio out of range");
+                (n_flows as f64 * r).round() as usize
+            }
+        }
+        .min(n_flows);
+        if n_victims == 0 || n_flows == 0 {
+            return LossPlan::none();
+        }
+        let mut ids: Vec<(u64, F)> = trace
+            .flows
+            .iter()
+            .map(|&(f, _)| (mix64(self.seed ^ mix64(f.key64())), f))
+            .collect();
+        ids.sort_unstable();
+        let offset =
+            (n_victims as f64 * self.frac * epoch as f64).round() as usize % n_flows;
+        let victims = (0..n_victims)
+            .map(|i| ids[(offset + i) % n_flows].1)
+            .map(|f| (f, loss_rate))
+            .collect();
+        LossPlan { victims }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +263,66 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(!plan.should_drop(&1, &mut rng));
         assert_eq!(plan.num_victims(), 0);
+    }
+
+    #[test]
+    fn victim_drift_keeps_count_and_slides_membership() {
+        let t = caida_like_trace(500, 9);
+        let drift = VictimDrift { frac: 0.2, seed: 10 };
+        let sel = VictimSelection::RandomRatio(0.1);
+        let p0 = drift.plan(&t, sel, 0.05, 0);
+        let p1 = drift.plan(&t, sel, 0.05, 1);
+        let p5 = drift.plan(&t, sel, 0.05, 5);
+        assert_eq!(p0.num_victims(), 50);
+        assert_eq!(p1.num_victims(), 50);
+        let s0: std::collections::HashSet<u32> = p0.victims.keys().copied().collect();
+        let s1: std::collections::HashSet<u32> = p1.victims.keys().copied().collect();
+        let s5: std::collections::HashSet<u32> = p5.victims.keys().copied().collect();
+        let overlap01 = s0.intersection(&s1).count();
+        assert!(
+            (35..50).contains(&overlap01),
+            "adjacent epochs must share ~80% of victims, got {overlap01}"
+        );
+        assert!(s0.intersection(&s5).count() < overlap01, "drift must accumulate");
+        // Determinism: the same epoch always selects the same victims.
+        let again: std::collections::HashSet<u32> =
+            drift.plan(&t, sel, 0.05, 1).victims.keys().copied().collect();
+        assert_eq!(s1, again);
+    }
+
+    #[test]
+    fn victim_drift_overlap_survives_membership_churn() {
+        // The drift order is keyed by flow identity, so removing/replacing
+        // a small fraction of the flows (what churn does between epochs)
+        // must not reshuffle the surviving victims.
+        let t = caida_like_trace(500, 13);
+        let drift = VictimDrift { frac: 0.2, seed: 14 };
+        let sel = VictimSelection::RandomRatio(0.1);
+        // Same epoch, 5% of flows replaced.
+        let mut churned = t.clone();
+        let replacement = caida_like_trace(50, 99);
+        for i in 0..25 {
+            churned.flows[i * 7] = replacement.flows[i];
+        }
+        let a: std::collections::HashSet<u32> =
+            drift.plan(&t, sel, 0.05, 3).victims.keys().copied().collect();
+        let b: std::collections::HashSet<u32> =
+            drift.plan(&churned, sel, 0.05, 3).victims.keys().copied().collect();
+        let overlap = a.intersection(&b).count();
+        assert!(
+            overlap >= 40,
+            "5% membership churn must keep ~95% of the victim window, got {overlap}/50"
+        );
+    }
+
+    #[test]
+    fn victim_drift_degenerate_cases() {
+        let t = caida_like_trace(20, 11);
+        let drift = VictimDrift { frac: 0.5, seed: 12 };
+        assert_eq!(drift.plan(&t, VictimSelection::RandomN(0), 0.1, 3).num_victims(), 0);
+        // More victims than flows: clamp to the whole trace.
+        let all = drift.plan(&t, VictimSelection::RandomN(100), 0.1, 2);
+        assert_eq!(all.num_victims(), 20);
     }
 
     #[test]

@@ -119,6 +119,111 @@ pub fn testbed_trace(
     Trace { flows }
 }
 
+/// Per-epoch flow churn: flows arrive and depart between epochs, so the
+/// measured flow set drifts while the controller's load-factor targets chase
+/// it. Modeled as a sliding window over a deterministic flow universe —
+/// epoch `e` replaces the oldest `round(n · rate · e)` flows of the base
+/// trace (capped at the whole trace) with fresh flows drawn from the same
+/// workload distribution. Consecutive epochs therefore share a
+/// `1 − rate` fraction of their flows, and a flow that arrived in epoch `e`
+/// persists in later epochs (the fresh pool is a fixed seeded sequence).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowChurn {
+    /// Fraction of the flow set replaced per epoch, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed of the arrival pool.
+    pub seed: u64,
+}
+
+impl FlowChurn {
+    /// The epoch-`epoch` flow set evolved from `base`. Epoch 0 is `base`
+    /// itself; arrivals draw sizes from `workload` over `n_hosts` hosts.
+    pub fn evolve(
+        &self,
+        base: &Trace<FiveTuple>,
+        epoch: u64,
+        n_hosts: u32,
+        workload: WorkloadKind,
+    ) -> Trace<FiveTuple> {
+        assert!((0.0..=1.0).contains(&self.rate), "churn rate out of range");
+        let n = base.num_flows();
+        let replaced = ((n as f64 * self.rate * epoch as f64).round() as usize).min(n);
+        if replaced == 0 {
+            return base.clone();
+        }
+        let mut flows = Vec::with_capacity(n);
+        flows.extend_from_slice(&base.flows[replaced..]);
+        // The arrival pool is one deterministic sequence: asking for more
+        // flows extends it, so earlier arrivals persist across epochs.
+        let seen: std::collections::HashSet<FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        let pool = testbed_trace(workload, replaced + n, n_hosts, self.seed);
+        for &(f, s) in &pool.flows {
+            if flows.len() >= n {
+                break;
+            }
+            if !seen.contains(&f) {
+                flows.push((f, s));
+            }
+        }
+        Trace { flows }
+    }
+}
+
+/// Periodic heavy-hitter floods: every `period` epochs a batch of large
+/// flows slams the fabric — the flow-size distribution's tail fattens
+/// abruptly, stressing the controller's `Th` tracking and the HH encoder's
+/// load-factor target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodModel {
+    /// Flood cadence in epochs (a flood hits when
+    /// `(epoch + 1) % period == 0`, so epoch 0 is always clean).
+    pub period: u64,
+    /// Number of injected heavy flows per flood.
+    pub n_flows: usize,
+    /// Packets per injected flow.
+    pub pkts_per_flow: u64,
+    /// Seed of the injected flow identities.
+    pub seed: u64,
+}
+
+impl FloodModel {
+    /// Whether `epoch` is a flood epoch.
+    pub fn floods_at(&self, epoch: u64) -> bool {
+        self.period > 0 && (epoch + 1).is_multiple_of(self.period)
+    }
+
+    /// The trace with this epoch's flood injected (or a plain clone on
+    /// clean epochs). Injected identities are fixed per flood index, so the
+    /// same epoch always floods with the same flows.
+    pub fn apply(
+        &self,
+        base: &Trace<FiveTuple>,
+        epoch: u64,
+        n_hosts: u32,
+    ) -> Trace<FiveTuple> {
+        if !self.floods_at(epoch) || self.n_flows == 0 {
+            return base.clone();
+        }
+        let seen: std::collections::HashSet<FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        let ids = testbed_trace(
+            WorkloadKind::Dctcp,
+            self.n_flows,
+            n_hosts,
+            self.seed ^ ((epoch + 1) / self.period),
+        );
+        let mut flows = base.flows.clone();
+        flows.extend(
+            ids.flows
+                .iter()
+                .filter(|(f, _)| !seen.contains(f))
+                .map(|&(f, _)| (f, self.pkts_per_flow)),
+        );
+        Trace { flows }
+    }
+}
+
 /// The testbed's host addressing scheme: 10.0.h.1 for host `h`.
 pub fn host_ip(host: u32) -> u32 {
     0x0a00_0001 | (host << 8)
@@ -216,6 +321,65 @@ mod tests {
         for h in 0..8 {
             assert_eq!(ip_host(host_ip(h)), h);
         }
+    }
+
+    #[test]
+    fn churn_epoch_zero_is_base_and_rate_replaces_flows() {
+        let base = testbed_trace(WorkloadKind::Dctcp, 1_000, 8, 21);
+        let churn = FlowChurn { rate: 0.1, seed: 77 };
+        let e0 = churn.evolve(&base, 0, 8, WorkloadKind::Dctcp);
+        assert_eq!(e0.flows, base.flows);
+        let e1 = churn.evolve(&base, 1, 8, WorkloadKind::Dctcp);
+        assert_eq!(e1.num_flows(), 1_000);
+        let base_ids: std::collections::HashSet<FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        let fresh = e1.flows.iter().filter(|(f, _)| !base_ids.contains(f)).count();
+        assert_eq!(fresh, 100, "10% of 1000 flows must be new at epoch 1");
+    }
+
+    #[test]
+    fn churn_arrivals_persist_across_epochs() {
+        let base = testbed_trace(WorkloadKind::Vl2, 500, 8, 22);
+        let churn = FlowChurn { rate: 0.2, seed: 78 };
+        let e1 = churn.evolve(&base, 1, 8, WorkloadKind::Vl2);
+        let e2 = churn.evolve(&base, 2, 8, WorkloadKind::Vl2);
+        let e2_ids: std::collections::HashSet<FiveTuple> =
+            e2.flows.iter().map(|&(f, _)| f).collect();
+        let base_ids: std::collections::HashSet<FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        // Every epoch-1 arrival is still present at epoch 2 (arrivals form a
+        // fixed pool; only departures advance).
+        for (f, _) in e1.flows.iter().filter(|(f, _)| !base_ids.contains(f)) {
+            assert!(e2_ids.contains(f), "epoch-1 arrival vanished at epoch 2");
+        }
+    }
+
+    #[test]
+    fn churn_full_replacement_caps_at_trace_size() {
+        let base = testbed_trace(WorkloadKind::Cache, 100, 8, 23);
+        let churn = FlowChurn { rate: 0.5, seed: 79 };
+        let late = churn.evolve(&base, 100, 8, WorkloadKind::Cache);
+        let base_ids: std::collections::HashSet<FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        assert!(late.flows.iter().all(|(f, _)| !base_ids.contains(f)));
+    }
+
+    #[test]
+    fn flood_hits_on_period_and_injects_heavy_flows() {
+        let base = testbed_trace(WorkloadKind::Dctcp, 200, 8, 24);
+        let flood = FloodModel { period: 3, n_flows: 10, pkts_per_flow: 5_000, seed: 80 };
+        assert!(!flood.floods_at(0));
+        assert!(!flood.floods_at(1));
+        assert!(flood.floods_at(2));
+        assert!(flood.floods_at(5));
+        let clean = flood.apply(&base, 0, 8);
+        assert_eq!(clean.num_flows(), 200);
+        let hit = flood.apply(&base, 2, 8);
+        assert_eq!(hit.num_flows(), 210);
+        let heavy = hit.flows.iter().filter(|&&(_, s)| s == 5_000).count();
+        assert_eq!(heavy, 10);
+        // Same epoch floods identically.
+        assert_eq!(hit.flows, flood.apply(&base, 2, 8).flows);
     }
 
     #[test]

@@ -81,6 +81,79 @@ proptest! {
         }
     }
 
+    /// Same seed ⇒ same victim set, for every selection strategy.
+    #[test]
+    fn victim_selection_deterministic(
+        n in 20usize..400,
+        k in 1usize..40,
+        sel_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let t = caida_like_trace(n, seed);
+        let sel = match sel_idx {
+            0 => VictimSelection::LargestN(k),
+            1 => VictimSelection::RandomRatio(k as f64 / 40.0),
+            _ => VictimSelection::RandomN(k),
+        };
+        let a = LossPlan::build(&t, sel, 0.1, seed ^ 0x11);
+        let b = LossPlan::build(&t, sel, 0.1, seed ^ 0x11);
+        prop_assert_eq!(
+            a.victims.keys().collect::<std::collections::BTreeSet<_>>(),
+            b.victims.keys().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    /// `LargestN(n)` picks exactly the top-n flows under the documented
+    /// (size desc, id asc) tie-breaking — independent of the trace's flow
+    /// order.
+    #[test]
+    fn largest_n_picks_exact_top_n(
+        n in 20usize..300,
+        k in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let t = caida_like_trace(n, seed);
+        // Expected set, computed independently of Trace::top_n.
+        let mut ranked = t.flows.clone();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let expect: std::collections::BTreeSet<u32> =
+            ranked[..k.min(n)].iter().map(|&(f, _)| f).collect();
+        let plan = LossPlan::build(&t, VictimSelection::LargestN(k), 0.1, seed);
+        let got: std::collections::BTreeSet<u32> =
+            plan.victims.keys().copied().collect();
+        prop_assert_eq!(&got, &expect);
+        // Tie-breaking is a property of the flows, not their order: a
+        // shuffled clone of the trace selects the identical set.
+        let mut shuffled = t.clone();
+        {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5487);
+            shuffled.flows.shuffle(&mut rng);
+        }
+        let plan2 = LossPlan::build(&shuffled, VictimSelection::LargestN(k), 0.1, seed);
+        let got2: std::collections::BTreeSet<u32> =
+            plan2.victims.keys().copied().collect();
+        prop_assert_eq!(got2, expect);
+    }
+
+    /// `RandomRatio(r)` selects within ±1 of `r · n` victims.
+    #[test]
+    fn random_ratio_count_within_one(
+        n in 10usize..1000,
+        r in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let t = caida_like_trace(n, seed);
+        let plan = LossPlan::build(&t, VictimSelection::RandomRatio(r), 0.1, seed ^ 0x22);
+        let want = n as f64 * r;
+        prop_assert!(
+            (plan.num_victims() as f64 - want).abs() <= 1.0,
+            "{} victims for requested {want:.2}",
+            plan.num_victims()
+        );
+    }
+
     /// Packet streams preserve multiset multiplicities exactly.
     #[test]
     fn stream_multiplicities(n in 1usize..100, seed in any::<u64>()) {

@@ -9,6 +9,7 @@
 //! * [`chm_baselines`] — every competitor from the paper's evaluation.
 //! * [`chm_workloads`] — traces, distributions, loss plans.
 //! * [`chm_netsim`] — topology, epochs, clocks, collection model.
+//! * [`chm_scenarios`] — adversarial scenario engine + golden matrix.
 //! * [`chm_common`] — hashing, modular arithmetic, flow IDs, metrics.
 
 pub use chamelemon;
@@ -16,5 +17,6 @@ pub use chm_baselines;
 pub use chm_common;
 pub use chm_fermat;
 pub use chm_netsim;
+pub use chm_scenarios;
 pub use chm_tower;
 pub use chm_workloads;
