@@ -3,6 +3,7 @@
 //! ```text
 //! chm-bench perf [--quick] [--out <dir>]
 //! chm-bench scenarios [--quick] [--per-packet] [--out <dir>]
+//!                     [--seeds <n>] [--check <golden.json>]
 //! ```
 //!
 //! `perf` measures the hot-path packet engine (packets/sec, decode latency)
@@ -19,7 +20,12 @@
 //! guarantee identical output; the flag exists to demonstrate it).
 //!
 //! `--quick` runs the reduced CI-smoke sizing; `--out` overrides the
-//! results directory.
+//! results directory. `--seeds <n>` re-runs every scenario under `n`
+//! derived seeds on the parallel trial executor and appends per-scenario
+//! mean/σ confidence bands (byte-identical at any worker count).
+//! `--check <golden.json>` is the CI threshold gate: exit 1 when any
+//! scenario's mean F1 or localization top-3 hit rate regressed more than
+//! the tolerance vs the committed golden.
 
 use chm_bench::perf::{self, PerfConfig};
 use chm_bench::scenarios;
@@ -28,7 +34,8 @@ use chm_scenarios::ReplayMode;
 fn usage() -> ! {
     eprintln!(
         "usage: chm-bench perf [--quick] [--out <dir>]\n       \
-         chm-bench scenarios [--quick] [--per-packet] [--out <dir>]"
+         chm-bench scenarios [--quick] [--per-packet] [--out <dir>] \
+         [--seeds <n>] [--check <golden.json>]"
     );
     std::process::exit(2);
 }
@@ -70,6 +77,8 @@ fn main() {
             let mut quick = false;
             let mut mode = ReplayMode::Burst;
             let mut out_dir = "results".to_string();
+            let mut n_seeds = 1usize;
+            let mut check: Option<String> = None;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -79,26 +88,66 @@ fn main() {
                         Some(d) => out_dir = d.clone(),
                         None => usage(),
                     },
+                    "--seeds" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(n) if n >= 1 => n_seeds = n,
+                        _ => usage(),
+                    },
+                    "--check" => match it.next() {
+                        Some(p) => check = Some(p.clone()),
+                        None => usage(),
+                    },
                     _ => usage(),
                 }
             }
-            let results = scenarios::run_matrix(quick, mode);
-            scenarios::print_table(&results);
-            if let Err(e) = scenarios::write_json(&results, quick, &out_dir) {
+            // Read the golden up front: a typo'd path must fail in
+            // milliseconds, not after a multi-seed full-matrix run.
+            let golden = check.map(|golden_path| {
+                match std::fs::read_to_string(&golden_path) {
+                    Ok(g) if !scenarios::parse_golden(&g).is_empty() => (golden_path, g),
+                    Ok(_) => {
+                        eprintln!("error: golden {golden_path} has no scenarios");
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("error: could not read golden {golden_path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            });
+            let run = scenarios::run_matrix_seeds(quick, mode, n_seeds);
+            scenarios::print_table(&run);
+            if let Err(e) = scenarios::write_json(&run, quick, &out_dir) {
                 eprintln!("error: could not write {out_dir}/SCENARIOS.json: {e}");
                 std::process::exit(1);
             }
-            let worst = results
+            let worst = run
+                .results
                 .iter()
                 .min_by(|a, b| a.mean_f1.total_cmp(&b.mean_f1))
                 .expect("matrix is non-empty");
             eprintln!(
                 "\n{} scenarios; worst mean F1 {:.4} ({}); \
                  json: {out_dir}/SCENARIOS.json",
-                results.len(),
+                run.results.len(),
                 worst.mean_f1,
                 worst.name,
             );
+            if let Some((golden_path, golden)) = golden {
+                let problems = scenarios::check_regressions(&golden, &run.results);
+                if problems.is_empty() {
+                    eprintln!(
+                        "threshold gate vs {golden_path}: OK \
+                         (tolerance {})",
+                        scenarios::CHECK_TOLERANCE
+                    );
+                } else {
+                    eprintln!("threshold gate vs {golden_path} FAILED:");
+                    for p in &problems {
+                        eprintln!("  {p}");
+                    }
+                    std::process::exit(1);
+                }
+            }
         }
         _ => usage(),
     }

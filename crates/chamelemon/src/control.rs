@@ -16,9 +16,12 @@
 
 use crate::config::{DataPlaneConfig, Partition, RuntimeConfig};
 use crate::dataplane::CollectedGroup;
+use crate::localize::{Localization, Localizer};
 use chm_common::hash::PairwiseHash;
 use chm_common::FlowId;
 use chm_fermat::{DecodeScratch, FermatSketch};
+use chm_netsim::sim::Routable;
+use chm_netsim::FatTree;
 use chm_tower::MracConfig;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -75,6 +78,17 @@ pub struct EpochAnalysis<F> {
     pub flow_size_dist: Vec<f64>,
     /// Victim flow-size distribution (ill state; from sampled victims).
     pub victim_size_dist: Option<Vec<f64>>,
+    /// Per-edge ingress port counters, in collection order. With
+    /// [`edge_egress`](Self::edge_egress) this surfaces the raw per-edge
+    /// asymmetry for operators and tests: on a duplication-free fabric,
+    /// ingress sum − egress sum is exactly the epoch's loss; fabric
+    /// duplicates traverse egress twice (as a real port counter would
+    /// count them), so under duplication the egress sum can exceed the
+    /// ingress sum. The localization pass itself ranks switches from the
+    /// decoded flowsets.
+    pub edge_ingress: Vec<u64>,
+    /// Per-edge egress port counters, in collection order.
+    pub edge_egress: Vec<u64>,
     /// The runtime configuration this epoch was monitored under.
     pub runtime: RuntimeConfig,
     /// The network state the controller believed during this epoch.
@@ -130,6 +144,10 @@ pub struct Controller<F: FlowId> {
     /// this scratch, so the controller never clones a sketch to decode it
     /// and its peeling allocations persist across epochs.
     scratch: RefCell<DecodeScratch<F>>,
+    /// Cross-epoch victim-localization state, present once
+    /// [`enable_localization`](Self::enable_localization) gave the
+    /// controller the fabric topology.
+    localizer: Option<Localizer>,
     _f: std::marker::PhantomData<F>,
 }
 
@@ -147,8 +165,44 @@ impl<F: FlowId> Controller<F> {
             mrac: MracConfig::realtime(),
             failed_hl_sizes: std::collections::HashSet::new(),
             scratch: RefCell::new(DecodeScratch::new()),
+            localizer: None,
             _f: std::marker::PhantomData,
         }
+    }
+
+    /// Gives the controller the fabric topology, enabling the per-epoch
+    /// victim-localization pass ([`localize`](Self::localize)).
+    pub fn enable_localization(&mut self, topology: FatTree) {
+        self.localizer = Some(Localizer::new(topology));
+    }
+
+    /// The localization pass: folds this epoch's decoded evidence — victim
+    /// loss estimates (blame) and every decoded HH flow's estimated size
+    /// (transit/exoneration) — into the cross-epoch tables and ranks
+    /// candidate drop switches for every victim (see [`crate::localize`]).
+    /// Returns `None` until
+    /// [`enable_localization`](Self::enable_localization) is called.
+    ///
+    /// Call once per epoch, after [`analyze_epoch`](Self::analyze_epoch) —
+    /// on a blind epoch (empty analysis) the tables simply decay.
+    pub fn localize(&mut self, a: &EpochAnalysis<F>) -> Option<Localization<F>>
+    where
+        F: Routable,
+    {
+        let localizer = self.localizer.as_mut()?;
+        // The decoded HH flowsets are the controller's traffic sample: the
+        // flow existed, crossed its route, and its recorded count plus Th
+        // estimates its size (§4.2). Healthy ones exonerate their routes.
+        let th = a.runtime.th;
+        let mut traffic: HashMap<F, u64> = HashMap::new();
+        for fs in &a.hh_flowsets {
+            for (f, &q) in fs {
+                let est = th + q.max(0) as u64;
+                let e = traffic.entry(*f).or_insert(0);
+                *e = (*e).max(est);
+            }
+        }
+        Some(localizer.observe_epoch(&a.loss_report, &traffic))
     }
 
     /// Nearest size to `m` not on the failed-size list: steps up toward
@@ -211,6 +265,8 @@ impl<F: FlowId> Controller<F> {
                 est_victims: 0.0,
                 flow_size_dist: Vec::new(),
                 victim_size_dist: None,
+                edge_ingress: Vec::new(),
+                edge_egress: Vec::new(),
                 runtime: self.deployed,
                 state_during: self.state,
                 switches_reporting: 0,
@@ -428,6 +484,8 @@ impl<F: FlowId> Controller<F> {
             est_victims,
             flow_size_dist,
             victim_size_dist,
+            edge_ingress: collected.iter().map(|g| g.ingress_pkts).collect(),
+            edge_egress: collected.iter().map(|g| g.egress_pkts).collect(),
             runtime,
             state_during: self.state,
             switches_reporting: collected.len(),

@@ -72,6 +72,15 @@ pub struct SketchGroup<F: FlowId> {
     pub down_hl: FermatSketch<F>,
     /// Downstream LL encoder (same geometry as upstream LL).
     pub down_ll: FermatSketch<F>,
+    /// Packets that entered the network at this edge during the group's
+    /// epoch — the switch's ingress port counter, collected alongside the
+    /// sketches. With [`egress_pkts`](Self::egress_pkts) it surfaces the
+    /// raw per-edge ingress/egress asymmetry (network-wide, ingress minus
+    /// egress is the epoch's total loss) to operators and tests.
+    pub ingress_pkts: u64,
+    /// Packets that exited the network at this edge (fabric duplicates
+    /// count twice, exactly as a real port counter would).
+    pub egress_pkts: u64,
     /// The runtime configuration this group monitors under.
     pub runtime: RuntimeConfig,
 }
@@ -86,6 +95,8 @@ impl<F: FlowId> SketchGroup<F> {
             up_ll: FermatSketch::new(cfg.fermat_for(p.m_ll, salt::LL)),
             down_hl: FermatSketch::new(cfg.fermat_for(p.m_hl, salt::HL)),
             down_ll: FermatSketch::new(cfg.fermat_for(p.m_ll, salt::LL)),
+            ingress_pkts: 0,
+            egress_pkts: 0,
             runtime,
         }
     }
@@ -107,6 +118,8 @@ impl<F: FlowId> SketchGroup<F> {
             up_ll: FermatSketch::new(cfg.fermat_for(0, salt::LL)),
             down_hl: FermatSketch::new(cfg.fermat_for(0, salt::HL)),
             down_ll: FermatSketch::new(cfg.fermat_for(0, salt::LL)),
+            ingress_pkts: 0,
+            egress_pkts: 0,
             runtime,
         }
     }
@@ -165,6 +178,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
         let key = f.key64();
         let sample16 = self.sample_hash.sample16(key) as u32;
         let g = self.group_mut(ts);
+        g.ingress_pkts += 1;
         let size = g.classifier.insert_and_query(key);
         let rt = &g.runtime;
         let h = if size >= rt.th {
@@ -209,6 +223,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
         let key = f.key64();
         let sample16 = self.sample_hash.sample16(key) as u32;
         let g = self.group_mut(ts);
+        g.ingress_pkts += n;
         let rt = &g.runtime;
         let (th, tl, sampled) = (rt.th, rt.tl, sample16 < rt.sample_threshold);
         let (n_ll, n_hl, n_hh) = g.classifier.insert_burst(key, n, tl, th);
@@ -241,6 +256,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
             return;
         }
         let g = self.group_mut(ts);
+        g.egress_pkts += delivered;
         match h {
             Hierarchy::HhCandidate | Hierarchy::HlCandidate => {
                 g.down_hl.insert_weighted_keyed(f, f.key64(), delivered as i64)

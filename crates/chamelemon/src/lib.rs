@@ -44,12 +44,14 @@
 pub mod config;
 pub mod control;
 pub mod dataplane;
+pub mod localize;
 pub mod resources;
 pub mod tasks;
 
 pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
 pub use control::{Controller, EpochAnalysis, NetworkState};
 pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
+pub use localize::{Localization, Localizer};
 
 use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
 use chm_netsim::sim::{EpochReport, Routable};

@@ -36,6 +36,25 @@ fn healthy_network_reports_exact_losses() {
 }
 
 #[test]
+fn edge_port_counters_account_for_every_packet() {
+    // The collected ingress/egress port counters are exact: summed over
+    // the edges, ingress equals the packets sent and the ingress−egress
+    // asymmetry equals the fabric's total loss. (Exact equality needs a
+    // duplication-free fabric — ChameleMon::run_epoch is one; fabric
+    // duplicates would inflate egress.)
+    let mut sys = ChameleMon::testbed(DataPlaneConfig::small(7));
+    let trace = testbed_trace(WorkloadKind::Vl2, 600, 8, 8);
+    let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.1), 0.05, 9);
+    for _ in 0..3 {
+        let out = sys.run_epoch(&trace, &plan);
+        let ingress: u64 = out.analysis.edge_ingress.iter().sum();
+        let egress: u64 = out.analysis.edge_egress.iter().sum();
+        assert_eq!(ingress, out.report.total_sent());
+        assert_eq!(ingress - egress, out.report.lost.values().sum::<u64>());
+    }
+}
+
+#[test]
 fn accumulation_tasks_work_alongside_loss_detection() {
     let mut sys = ChameleMon::testbed(DataPlaneConfig::small(4));
     let trace = testbed_trace(WorkloadKind::Vl2, 600, 8, 5);

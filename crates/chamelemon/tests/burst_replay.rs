@@ -67,6 +67,9 @@ fn burst_replay_is_byte_identical_to_per_packet_replay() {
         let rb = sim_b.run_epoch_burst(&trace, &plan, &mut burst);
         assert_eq!(ra.delivered, rb.delivered);
         assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ra.dropped_at, rb.dropped_at);
+        assert_eq!(ra.lost_at, rb.lost_at);
+        assert_eq!(ra.hops_histogram, rb.hops_histogram);
         assert_eq!(ra.epoch, rb.epoch);
     }
 
@@ -74,6 +77,8 @@ fn burst_replay_is_byte_identical_to_per_packet_replay() {
         for ts in 0..2u8 {
             let (ga, gb) = (a.group(ts), b.group(ts));
             assert_eq!(ga.classifier, gb.classifier, "edge {e} ts {ts} classifier");
+            assert_eq!(ga.ingress_pkts, gb.ingress_pkts, "edge {e} ts {ts} ingress ctr");
+            assert_eq!(ga.egress_pkts, gb.egress_pkts, "edge {e} ts {ts} egress ctr");
             assert_eq!(ga.up_hh, gb.up_hh, "edge {e} ts {ts} up_hh");
             assert_eq!(ga.up_hl, gb.up_hl, "edge {e} ts {ts} up_hl");
             assert_eq!(ga.up_ll, gb.up_ll, "edge {e} ts {ts} up_ll");
@@ -101,6 +106,14 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
     let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.15), 0.05, 0x8282);
     let imp = ImpairmentSet {
         seed: 0x19a9_5eed,
+        congestion: Some(chm_netsim::CongestionModel {
+            derates: vec![chm_netsim::Derate::Switch {
+                role: chm_netsim::SwitchRole::Core,
+                index: 0,
+                factor: 0.3,
+            }],
+            ..chm_netsim::CongestionModel::calibrated()
+        }),
         gilbert_elliott: Some(GilbertElliott::bursty()),
         duplication: Some(Duplication { prob: 0.08 }),
         reordering: Some(Reordering { prob: 0.3, window: 6 }),
@@ -117,6 +130,9 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
         let rb = sim_b.run_epoch_burst_scenario(&trace, &plan, &imp, &mut burst);
         assert_eq!(ra.delivered, rb.delivered);
         assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ra.dropped_at, rb.dropped_at);
+        assert_eq!(ra.lost_at, rb.lost_at);
+        assert_eq!(ra.hops_histogram, rb.hops_histogram);
         assert_eq!(ra.epoch, rb.epoch);
     }
 
@@ -124,6 +140,8 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
         for ts in 0..2u8 {
             let (ga, gb) = (a.group(ts), b.group(ts));
             assert_eq!(ga.classifier, gb.classifier, "edge {e} ts {ts} classifier");
+            assert_eq!(ga.ingress_pkts, gb.ingress_pkts, "edge {e} ts {ts} ingress ctr");
+            assert_eq!(ga.egress_pkts, gb.egress_pkts, "edge {e} ts {ts} egress ctr");
             assert_eq!(ga.up_hh, gb.up_hh, "edge {e} ts {ts} up_hh");
             assert_eq!(ga.up_hl, gb.up_hl, "edge {e} ts {ts} up_hl");
             assert_eq!(ga.up_ll, gb.up_ll, "edge {e} ts {ts} up_ll");

@@ -7,8 +7,10 @@
 //!
 //! Every impairment is realized **per flow, above the hook boundary**: an
 //! [`ImpairmentSet`] compiles, for each `(flow, epoch)` pair, a deterministic
-//! [`FlowFates`] record — which packet indices are delivered, which carry a
-//! duplicate, and how many leading packets are mis-stamped by clock skew.
+//! [`FabricFates`] record — which packet indices are delivered, **at which
+//! hop of the flow's ECMP route each lost packet died**, which delivered
+//! packets carry a duplicate, and how many leading packets are mis-stamped
+//! by clock skew.
 //! Both replay paths ([`run_epoch_scenario`](crate::Simulator::run_epoch_scenario)
 //! and [`run_epoch_burst_scenario`](crate::Simulator::run_epoch_burst_scenario))
 //! consult the *same* realization, so the per-packet and burst replays stay
@@ -16,10 +18,19 @@
 //! `chm_scenarios/tests/differential.rs`). Nothing impairment-specific is
 //! bolted into either path.
 //!
+//! Loss has two sources here: the flat plan/channel losses (spread drops,
+//! Gilbert–Elliott bursts), whose drop hop is a seeded hash over the route,
+//! and the [`CongestionModel`]'s
+//! per-link losses, whose drop hop *is* the saturated link. Either way the
+//! hop lands in [`FabricFates::drop_hop`], which
+//! [`EpochReport`](crate::sim::EpochReport) turns into per-switch drop
+//! attribution — the ground truth for victim localization.
+//!
 //! All randomness is derived from the impairment seed, the epoch seed, and
 //! the flow key — never from call order — so a scenario is reproducible
 //! bit-for-bit from its seed alone.
 
+use crate::congestion::CongestionModel;
 use crate::sim::spread_drop;
 use chm_common::hash::mix64;
 use rand::rngs::StdRng;
@@ -99,6 +110,9 @@ pub struct ClockSkew {
 pub struct ImpairmentSet {
     /// Seed folded into every realization (scenario identity).
     pub seed: u64,
+    /// Per-link utilization-driven loss (congestion-coupled drops at the
+    /// saturated switch).
+    pub congestion: Option<CongestionModel>,
     /// Correlated bursty loss, applied on top of the epoch's loss plan.
     pub gilbert_elliott: Option<GilbertElliott>,
     /// Fabric packet duplication.
@@ -113,6 +127,18 @@ pub struct ImpairmentSet {
 const SKEW_SALT: u64 = 0x0f00_5c1f_fa11_c10c;
 /// Salt for the per-flow epoch phase used by clock skew.
 const PHASE_SALT: u64 = 0x9a5e_0f10;
+/// Salt for the hash-assigned drop hop of plan/channel losses.
+const HOP_SALT: u64 = 0xd20b_40b5;
+
+/// The deterministic drop hop of a non-congestion loss: plan and
+/// Gilbert–Elliott drops have no saturated link to blame, so each dropped
+/// packet picks a switch uniformly (by hash) along its flow's route — the
+/// same rule the retired `run_detailed` path used. Never consumes RNG
+/// state, so enabling attribution cannot shift any existing realization.
+#[inline]
+pub fn hash_hop(epoch_seed: u64, flow_key: u64, i: u64, route_len: usize) -> u8 {
+    ((mix64(epoch_seed ^ flow_key ^ i ^ HOP_SALT) as usize) % route_len.max(1)) as u8
+}
 
 impl ImpairmentSet {
     /// The clean fabric: no impairments at all.
@@ -122,7 +148,8 @@ impl ImpairmentSet {
 
     /// True when no impairment is configured (the clean fast paths apply).
     pub fn is_none(&self) -> bool {
-        self.gilbert_elliott.is_none()
+        self.congestion.is_none()
+            && self.gilbert_elliott.is_none()
             && self.duplication.is_none()
             && self.reordering.is_none()
             && self.clock_skew.is_none()
@@ -144,24 +171,64 @@ impl ImpairmentSet {
     /// are reused across calls). `base_lost` is the loss plan's realized
     /// drop count for this flow; plan drops are spread over the flow exactly
     /// as [`spread_drop`] spreads them, then the impairments perturb the
-    /// pattern. The realization is a pure function of
-    /// `(self, flow_key, pkts, base_lost, epoch_seed, in_edge)`.
+    /// pattern.
+    ///
+    /// `route_len` is the number of switches on the flow's ECMP route
+    /// (every drop is attributed to one of them); `hop_probs` holds the
+    /// congestion model's per-hop drop probabilities for this flow (empty
+    /// when congestion is off, else exactly `route_len` entries — see
+    /// [`CongestionRealization::hop_probs`](crate::congestion::CongestionRealization::hop_probs)).
+    /// The realization is a pure function of
+    /// `(self, flow_key, pkts, base_lost, epoch_seed, in_edge, route_len, hop_probs)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn realize_flow(
         &self,
-        out: &mut FlowFates,
+        out: &mut FabricFates,
         flow_key: u64,
         pkts: u64,
         base_lost: u64,
         epoch_seed: u64,
         in_edge: usize,
+        route_len: usize,
+        hop_probs: &[f64],
     ) {
+        debug_assert!(
+            hop_probs.is_empty() || hop_probs.len() == route_len,
+            "hop_probs must cover the route"
+        );
         out.delivered.clear();
         out.dup.clear();
-        out.delivered
-            .extend((0..pkts).map(|i| !spread_drop(i, pkts, base_lost)));
+        out.drop_hop.clear();
+        out.drop_hop.resize(pkts as usize, 0);
+        for i in 0..pkts {
+            let dead = spread_drop(i, pkts, base_lost);
+            out.delivered.push(!dead);
+            if dead {
+                out.drop_hop[i as usize] = hash_hop(epoch_seed, flow_key, i, route_len);
+            }
+        }
         let mut rng = StdRng::seed_from_u64(
             mix64(self.seed ^ epoch_seed).wrapping_add(mix64(flow_key)),
         );
+        // Congestion first: it is the fabric's own loss (the saturated
+        // link), everything below is channel/plan noise on top. A packet
+        // already claimed by the plan is not offered to later links. When
+        // no link on this route is saturated, no RNG state is consumed, so
+        // congestion-free scenarios realize exactly as before.
+        if hop_probs.iter().any(|&p| p > 0.0) {
+            for i in 0..pkts as usize {
+                if !out.delivered[i] {
+                    continue;
+                }
+                for (h, &p) in hop_probs.iter().enumerate() {
+                    if p > 0.0 && rng.gen_bool(p) {
+                        out.delivered[i] = false;
+                        out.drop_hop[i] = h as u8;
+                        break;
+                    }
+                }
+            }
+        }
         if let Some(ge) = self.gilbert_elliott {
             // Start the chain in its stationary distribution so short flows
             // see the same loss statistics as long ones.
@@ -170,8 +237,9 @@ impl ImpairmentSet {
             let mut bad = rng.gen_bool(p_bad0);
             for i in 0..pkts as usize {
                 let p = if bad { ge.loss_bad } else { ge.loss_good };
-                if p > 0.0 && rng.gen_bool(p) {
+                if p > 0.0 && rng.gen_bool(p) && out.delivered[i] {
                     out.delivered[i] = false;
+                    out.drop_hop[i] = hash_hop(epoch_seed, flow_key, i as u64, route_len);
                 }
                 bad = if bad {
                     !rng.gen_bool(ge.p_exit_bad)
@@ -186,7 +254,10 @@ impl ImpairmentSet {
                 if rng.gen_bool(ro.prob) {
                     let j = i + rng.gen_range(1..=w);
                     if j < pkts {
+                        // The whole fate moves with the packet: delivery
+                        // flag and drop point swap together.
                         out.delivered.swap(i as usize, j as usize);
+                        out.drop_hop.swap(i as usize, j as usize);
                     }
                 }
             }
@@ -218,12 +289,16 @@ impl ImpairmentSet {
 }
 
 /// The realized fate of one flow's packets in one epoch: which indices are
-/// delivered, which delivered indices are duplicated in the fabric, and how
-/// many leading packets carry the previous epoch's timestamp bit.
-#[derive(Debug, Clone, Default)]
-pub struct FlowFates {
+/// delivered, **where on the route** each lost packet died, which delivered
+/// indices are duplicated in the fabric, and how many leading packets carry
+/// the previous epoch's timestamp bit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FabricFates {
     /// `delivered[i]` — packet `i` exits the network.
     pub delivered: Vec<bool>,
+    /// `drop_hop[i]` — the route position (0 = ingress ToR) whose switch
+    /// dropped packet `i`. Meaningful only where `delivered[i]` is false.
+    pub drop_hop: Vec<u8>,
     /// `dup[i]` — packet `i` additionally traverses egress a second time
     /// (only ever true for delivered packets).
     pub dup: Vec<bool>,
@@ -232,7 +307,7 @@ pub struct FlowFates {
     pub skew_split: u64,
 }
 
-impl FlowFates {
+impl FabricFates {
     /// Packets of the flow that exit the network (duplicates not counted).
     pub fn n_delivered(&self) -> u64 {
         self.delivered.iter().filter(|&&d| d).count() as u64
@@ -259,9 +334,9 @@ impl FlowFates {
 mod tests {
     use super::*;
 
-    fn realize(imp: &ImpairmentSet, key: u64, pkts: u64, lost: u64) -> FlowFates {
-        let mut f = FlowFates::default();
-        imp.realize_flow(&mut f, key, pkts, lost, 0x1234, 0);
+    fn realize(imp: &ImpairmentSet, key: u64, pkts: u64, lost: u64) -> FabricFates {
+        let mut f = FabricFates::default();
+        imp.realize_flow(&mut f, key, pkts, lost, 0x1234, 0, 5, &[]);
         f
     }
 
@@ -282,6 +357,7 @@ mod tests {
     fn realization_is_deterministic() {
         let imp = ImpairmentSet {
             seed: 9,
+            congestion: None,
             gilbert_elliott: Some(GilbertElliott::bursty()),
             duplication: Some(Duplication { prob: 0.1 }),
             reordering: Some(Reordering { prob: 0.2, window: 4 }),
@@ -290,6 +366,7 @@ mod tests {
         let a = realize(&imp, 42, 500, 20);
         let b = realize(&imp, 42, 500, 20);
         assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.drop_hop, b.drop_hop);
         assert_eq!(a.dup, b.dup);
         assert_eq!(a.skew_split, b.skew_split);
         // A different flow sees a different realization.
@@ -367,8 +444,8 @@ mod tests {
             fracs.windows(2).any(|w| w[0] != w[1]),
             "edges must not share one skew"
         );
-        let mut f = FlowFates::default();
-        imp.realize_flow(&mut f, 77, 1_000, 0, 1, 2);
+        let mut f = FabricFates::default();
+        imp.realize_flow(&mut f, 77, 1_000, 0, 1, 2, 5, &[]);
         assert!(f.skew_split <= 1_000);
         let expected = imp.edge_skew_frac(2) * 1_000.0;
         assert!(
@@ -376,6 +453,53 @@ mod tests {
             "split {} vs expected {expected}",
             f.skew_split
         );
+    }
+
+    #[test]
+    fn congestion_hop_probs_drop_at_the_saturated_hop() {
+        let imp = ImpairmentSet { seed: 12, ..ImpairmentSet::none() };
+        let mut f = FabricFates::default();
+        // Only hop 2 is saturated: every congestion drop must blame it.
+        imp.realize_flow(&mut f, 55, 2_000, 0, 0x99, 0, 5, &[0.0, 0.0, 0.4, 0.0, 0.0]);
+        let lost = 2_000 - f.n_delivered();
+        assert!(lost > 500, "a 0.4 link must drop plenty, got {lost}");
+        for i in 0..2_000usize {
+            if !f.delivered[i] {
+                assert_eq!(f.drop_hop[i], 2, "packet {i} blamed the wrong hop");
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_free_realization_consumes_no_rng() {
+        // An all-zero hop_probs vector must leave the downstream RNG stream
+        // (GE, duplication, …) exactly where an empty one does.
+        let imp = ImpairmentSet {
+            seed: 13,
+            gilbert_elliott: Some(GilbertElliott::bursty()),
+            duplication: Some(Duplication { prob: 0.2 }),
+            ..ImpairmentSet::none()
+        };
+        let mut a = FabricFates::default();
+        let mut b = FabricFates::default();
+        imp.realize_flow(&mut a, 7, 600, 11, 0x42, 1, 5, &[]);
+        imp.realize_flow(&mut b, 7, 600, 11, 0x42, 1, 5, &[0.0; 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn plan_drops_get_on_route_hash_hops() {
+        let f = realize(&ImpairmentSet::none(), 31, 200, 17);
+        for i in 0..200usize {
+            if !f.delivered[i] {
+                assert!(f.drop_hop[i] < 5, "hop out of route");
+                assert_eq!(
+                    f.drop_hop[i],
+                    hash_hop(0x1234, 31, i as u64, 5),
+                    "plan drops must use the shared hash rule"
+                );
+            }
+        }
     }
 
     #[test]

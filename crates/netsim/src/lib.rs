@@ -14,14 +14,19 @@
 //! * [`collect`] — the collection cost model of Appendix D.2/F (per-sketch
 //!   collection times, per-epoch bandwidth);
 //! * [`sim`] — the packet loop: replays a trace through ingress hooks,
-//!   drop decisions, and egress hooks, epoch by epoch;
-//! * [`impair`] — adversarial fabric impairments (Gilbert–Elliott bursty
-//!   loss, duplication, bounded reordering, per-edge clock skew), realized
-//!   per flow above the hook boundary so the per-packet and burst replays
-//!   stay byte-identical under any scenario.
+//!   drop decisions, and egress hooks, epoch by epoch, attributing every
+//!   drop to the switch that caused it;
+//! * [`congestion`] — the per-link congestion model: offered load from
+//!   every flow's ECMP route, utilization-driven drop probabilities,
+//!   structural derates (incast ToRs, browned-out cores, rolling
+//!   degradations);
+//! * [`impair`] — adversarial fabric impairments (per-link congestion
+//!   loss, Gilbert–Elliott bursty loss, duplication, bounded reordering,
+//!   per-edge clock skew), realized per flow above the hook boundary so the
+//!   per-packet and burst replays stay byte-identical under any scenario.
 
 pub mod clock;
-pub mod detailed;
+pub mod congestion;
 pub mod header;
 pub mod impair;
 pub mod collect;
@@ -29,10 +34,10 @@ pub mod sim;
 pub mod topology;
 
 pub use clock::{ClockModel, EpochClock};
-pub use detailed::{run_detailed, DetailedReport, DropPoint};
+pub use congestion::{CongestionModel, CongestionRealization, Derate, Hop, LinkId};
 pub use header::{decode_tos, encode_tos, CarriedState, IntShim};
 pub use impair::{
-    ClockSkew, Duplication, FlowFates, GilbertElliott, ImpairmentSet, Reordering,
+    ClockSkew, Duplication, FabricFates, GilbertElliott, ImpairmentSet, Reordering,
 };
 pub use collect::CollectionModel;
 pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};

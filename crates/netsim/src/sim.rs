@@ -4,12 +4,13 @@
 //! testbed run (DPDK senders, proactive ECN drops, ChameleMon on all four
 //! ToR switches).
 
-use crate::impair::{FlowFates, ImpairmentSet};
-use crate::topology::FatTree;
+use crate::impair::{hash_hop, FabricFates, ImpairmentSet};
+use crate::topology::{FatTree, SwitchId};
 use chm_common::{FiveTuple, FlowId};
 use chm_workloads::trace::ip_host;
 use chm_workloads::{LossPlan, Trace};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 
 /// Measurement hooks an edge-switch data plane exposes to the simulator.
 ///
@@ -72,18 +73,31 @@ impl Default for SimConfig {
     }
 }
 
-/// Ground truth of one simulated epoch.
+/// Ground truth of one simulated epoch, **fabric-attributed**: besides the
+/// per-flow delivered/lost counts, every dropped packet is pinned to the
+/// switch that dropped it (the per-switch visibility a per-link deployment
+/// like LossRadar would have) — the ground truth victim-localization
+/// accuracy is scored against. The per-switch maps are `BTreeMap`s so their
+/// iteration order is stable wherever they feed JSON goldens.
 #[derive(Debug, Clone)]
 pub struct EpochReport<F> {
     /// Packets that traversed the full path, per flow.
     pub delivered: HashMap<F, u64>,
     /// Packets dropped in the fabric, per victim flow.
     pub lost: HashMap<F, u64>,
+    /// Packets dropped, attributed to the switch that dropped them
+    /// (fabric-wide totals).
+    pub dropped_at: BTreeMap<SwitchId, u64>,
+    /// Per-victim drop attribution: which switches dropped this flow's
+    /// packets, and how many each. Values sum to `lost[f]`.
+    pub lost_at: HashMap<F, BTreeMap<SwitchId, u64>>,
+    /// Distribution of route lengths (switches on path → packets).
+    pub hops_histogram: BTreeMap<usize, u64>,
     /// Epoch index this report covers.
     pub epoch: u64,
 }
 
-impl<F: Copy + Eq + std::hash::Hash> EpochReport<F> {
+impl<F: Copy + Eq + Hash> EpochReport<F> {
     /// Flows that entered the network this epoch.
     pub fn total_flows(&self) -> usize {
         self.delivered.len()
@@ -97,6 +111,24 @@ impl<F: Copy + Eq + std::hash::Hash> EpochReport<F> {
     /// Total packets sent into the network.
     pub fn total_sent(&self) -> u64 {
         self.delivered.values().sum::<u64>() + self.lost.values().sum::<u64>()
+    }
+
+    /// Total packets with an attributed drop switch (equals the sum of
+    /// `lost` — every drop happens *somewhere*).
+    pub fn total_attributed(&self) -> u64 {
+        self.dropped_at.values().sum()
+    }
+
+    /// The switch that dropped most of `f`'s packets (ties break toward
+    /// the smaller [`SwitchId`]) — the localization target for this victim.
+    pub fn dominant_drop_switch(&self, f: &F) -> Option<SwitchId> {
+        let at = self.lost_at.get(f)?;
+        at.iter()
+            .fold(None, |best: Option<(SwitchId, u64)>, (&s, &c)| match best {
+                Some((_, bc)) if bc >= c => best,
+                _ => Some((s, c)),
+            })
+            .map(|(s, _)| s)
     }
 }
 
@@ -127,6 +159,72 @@ pub fn spread_drop_prefix(x: u64, pkts: u64, n_lost: u64) -> u64 {
         return 0;
     }
     x * n_lost.min(pkts) / pkts
+}
+
+/// The `k`-th (0-based) dropped packet index under [`spread_drop`]'s
+/// spreading rule: the smallest `i` with
+/// `spread_drop_prefix(i + 1, pkts, n_lost) == k + 1`. Valid for
+/// `k < min(n_lost, pkts)`; lets the burst path enumerate drop positions in
+/// `O(n_lost)` instead of scanning every packet.
+#[inline]
+pub fn spread_drop_nth(k: u64, pkts: u64, n_lost: u64) -> u64 {
+    let l = n_lost.min(pkts).max(1);
+    ((k + 1) * pkts).div_ceil(l) - 1
+}
+
+/// Folds one victim's drop points into the epoch accumulators, for losses
+/// realized by the spread rule (the clean replay paths): each of the
+/// `min(n_lost, pkts)` drops picks its switch by [`hash_hop`] over the
+/// flow's route — both clean paths call this with identical inputs, so
+/// their attribution is byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn attribute_spread<F: Copy + Eq + Hash>(
+    f: &F,
+    flow_key: u64,
+    pkts: u64,
+    n_lost: u64,
+    epoch_seed: u64,
+    route: &[SwitchId],
+    dropped_at: &mut BTreeMap<SwitchId, u64>,
+    lost_at: &mut HashMap<F, BTreeMap<SwitchId, u64>>,
+) {
+    if n_lost == 0 || pkts == 0 {
+        return;
+    }
+    let mut at: BTreeMap<SwitchId, u64> = BTreeMap::new();
+    for k in 0..n_lost.min(pkts) {
+        let i = spread_drop_nth(k, pkts, n_lost);
+        let h = hash_hop(epoch_seed, flow_key, i, route.len());
+        *at.entry(route[h as usize]).or_insert(0) += 1;
+    }
+    for (&s, &c) in &at {
+        *dropped_at.entry(s).or_insert(0) += c;
+    }
+    lost_at.insert(*f, at);
+}
+
+/// Folds one flow's realized [`FabricFates`] drop points into the epoch
+/// accumulators (the scenario replay paths). No-op for lossless flows.
+fn attribute_fates<F: Copy + Eq + Hash>(
+    f: &F,
+    route: &[SwitchId],
+    fates: &FabricFates,
+    dropped_at: &mut BTreeMap<SwitchId, u64>,
+    lost_at: &mut HashMap<F, BTreeMap<SwitchId, u64>>,
+) {
+    let mut at: BTreeMap<SwitchId, u64> = BTreeMap::new();
+    for (i, &d) in fates.delivered.iter().enumerate() {
+        if !d {
+            *at.entry(route[fates.drop_hop[i] as usize]).or_insert(0) += 1;
+        }
+    }
+    if at.is_empty() {
+        return;
+    }
+    for (&s, &c) in &at {
+        *dropped_at.entry(s).or_insert(0) += c;
+    }
+    lost_at.insert(*f, at);
 }
 
 /// The testbed simulator.
@@ -169,19 +267,38 @@ impl Simulator {
         let ts_bit = self.current_ts_bit();
         let epoch_seed = self.epoch_seed();
         let (delivered, lost) = plan.apply_to_trace(trace, epoch_seed);
+        let mut dropped_at = BTreeMap::new();
+        let mut lost_at = HashMap::new();
+        let mut hops_histogram = BTreeMap::new();
+        let mut route = Vec::with_capacity(5);
         for &(f, pkts) in &trace.flows {
-            let in_edge = self.topology.edge_of_host(f.src_host());
-            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let (src, dst) = (f.src_host(), f.dst_host());
+            let in_edge = self.topology.edge_of_host(src);
+            let out_edge = self.topology.edge_of_host(dst);
+            *hops_histogram.entry(self.topology.hops(src, dst, f.key64())).or_insert(0) +=
+                pkts;
             let n_lost = lost.get(&f).copied().unwrap_or(0);
             if n_lost == 0 {
                 // Lossless fast path — the overwhelmingly common case (most
-                // flows are not victims): skip the per-packet drop test.
+                // flows are not victims): skip the per-packet drop test and
+                // never materialize a route.
                 for _ in 0..pkts {
                     let tag = hooks.on_ingress(in_edge, &f, ts_bit);
                     hooks.on_egress(out_edge, &f, ts_bit, tag);
                 }
                 continue;
             }
+            self.topology.route_into(src, dst, f.key64(), &mut route);
+            attribute_spread(
+                &f,
+                f.key64(),
+                pkts,
+                n_lost,
+                epoch_seed,
+                &route,
+                &mut dropped_at,
+                &mut lost_at,
+            );
             for i in 0..pkts {
                 let tag = hooks.on_ingress(in_edge, &f, ts_bit);
                 // Drops must be spread across the flow's lifetime (the
@@ -195,7 +312,14 @@ impl Simulator {
                 hooks.on_egress(out_edge, &f, ts_bit, tag);
             }
         }
-        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        let report = EpochReport {
+            delivered,
+            lost,
+            dropped_at,
+            lost_at,
+            hops_histogram,
+            epoch: self.epoch,
+        };
         self.epoch += 1;
         report
     }
@@ -214,10 +338,30 @@ impl Simulator {
         let ts_bit = self.current_ts_bit();
         let epoch_seed = self.epoch_seed();
         let (delivered, lost) = plan.apply_to_trace(trace, epoch_seed);
+        let mut dropped_at = BTreeMap::new();
+        let mut lost_at = HashMap::new();
+        let mut hops_histogram = BTreeMap::new();
+        let mut route = Vec::with_capacity(5);
         for &(f, pkts) in &trace.flows {
-            let in_edge = self.topology.edge_of_host(f.src_host());
-            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let (src, dst) = (f.src_host(), f.dst_host());
+            let in_edge = self.topology.edge_of_host(src);
+            let out_edge = self.topology.edge_of_host(dst);
+            *hops_histogram.entry(self.topology.hops(src, dst, f.key64())).or_insert(0) +=
+                pkts;
             let n_lost = lost.get(&f).copied().unwrap_or(0);
+            if n_lost > 0 {
+                self.topology.route_into(src, dst, f.key64(), &mut route);
+                attribute_spread(
+                    &f,
+                    f.key64(),
+                    pkts,
+                    n_lost,
+                    epoch_seed,
+                    &route,
+                    &mut dropped_at,
+                    &mut lost_at,
+                );
+            }
             let runs = hooks.on_ingress_burst(in_edge, &f, ts_bit, pkts);
             // Packets dropped before position x (exclusive): ⌊x·L/P⌋ — the
             // prefix form of `spread_drop`.
@@ -233,20 +377,30 @@ impl Simulator {
             }
             debug_assert_eq!(pos, pkts, "tag runs must cover the whole burst");
         }
-        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        let report = EpochReport {
+            delivered,
+            lost,
+            dropped_at,
+            lost_at,
+            hops_histogram,
+            epoch: self.epoch,
+        };
         self.epoch += 1;
         report
     }
 
     /// Scenario replay, per-packet path: like [`run_epoch`](Self::run_epoch)
-    /// but with an [`ImpairmentSet`] perturbing the fabric — extra correlated
-    /// losses, duplicates re-traversing egress, reordered drop positions, and
-    /// clock-skewed timestamp bits. The epoch report's `delivered`/`lost`
-    /// reflect the *realized* fates (plan losses ∪ impairment losses;
-    /// duplicates are fabric noise and never counted as deliveries).
+    /// but with an [`ImpairmentSet`] perturbing the fabric — per-link
+    /// congestion drops, extra correlated losses, duplicates re-traversing
+    /// egress, reordered drop positions, and clock-skewed timestamp bits.
+    /// The epoch report's `delivered`/`lost` reflect the *realized* fates
+    /// (plan losses ∪ congestion losses ∪ impairment losses; duplicates are
+    /// fabric noise and never counted as deliveries), and every drop is
+    /// attributed to the switch the shared [`FabricFates`] realization pins
+    /// it to.
     ///
     /// With [`ImpairmentSet::none`] this is observationally identical to
-    /// [`run_epoch`](Self::run_epoch).
+    /// [`run_epoch`](Self::run_epoch), drop attribution included.
     pub fn run_epoch_scenario<F: Routable>(
         &mut self,
         trace: &Trace<F>,
@@ -258,14 +412,47 @@ impl Simulator {
         let prev_bit = ts_bit ^ 1;
         let epoch_seed = self.epoch_seed();
         let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
+        let cong = imp
+            .congestion
+            .as_ref()
+            .map(|m| m.realize(&self.topology, trace, self.epoch));
         let mut delivered = HashMap::with_capacity(trace.num_flows());
         let mut lost = HashMap::new();
-        let mut fates = FlowFates::default();
+        let mut dropped_at = BTreeMap::new();
+        let mut lost_at = HashMap::new();
+        let mut hops_histogram = BTreeMap::new();
+        let mut fates = FabricFates::default();
+        let mut route = Vec::with_capacity(5);
+        let mut hop_probs = Vec::with_capacity(5);
         for &(f, pkts) in &trace.flows {
-            let in_edge = self.topology.edge_of_host(f.src_host());
-            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let (src, dst) = (f.src_host(), f.dst_host());
+            let in_edge = self.topology.edge_of_host(src);
+            let out_edge = self.topology.edge_of_host(dst);
+            // Route materialization is lazy, as in the clean paths: only
+            // congestion (per-hop probabilities) and attribution (a flow
+            // that lost packets) need the actual switches — the histogram
+            // and the fates realization need just the length.
+            hop_probs.clear();
+            let route_len = match &cong {
+                Some(c) => {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                    c.hop_probs(&route, dst, &mut hop_probs);
+                    route.len()
+                }
+                None => self.topology.hops(src, dst, f.key64()),
+            };
+            *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
-            imp.realize_flow(&mut fates, f.key64(), pkts, n_lost, epoch_seed, in_edge);
+            imp.realize_flow(
+                &mut fates,
+                f.key64(),
+                pkts,
+                n_lost,
+                epoch_seed,
+                in_edge,
+                route_len,
+                &hop_probs,
+            );
             for i in 0..pkts {
                 let ts = if i < fates.skew_split { prev_bit } else { ts_bit };
                 let tag = hooks.on_ingress(in_edge, &f, ts);
@@ -280,16 +467,27 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
+                if cong.is_none() {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                }
+                attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
             }
         }
-        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        let report = EpochReport {
+            delivered,
+            lost,
+            dropped_at,
+            lost_at,
+            hops_histogram,
+            epoch: self.epoch,
+        };
         self.epoch += 1;
         report
     }
 
     /// Scenario replay, burst path: the batched twin of
     /// [`run_epoch_scenario`](Self::run_epoch_scenario). Both paths consult
-    /// the same per-flow [`FlowFates`] realization, so the resulting sketch
+    /// the same per-flow [`FabricFates`] realization, so the resulting sketch
     /// state and epoch report are byte-identical — impairments live above
     /// the hook boundary, not inside one path. A clock-skewed flow splits
     /// into two ingress bursts (the mis-stamped prefix carries the previous
@@ -306,14 +504,45 @@ impl Simulator {
         let prev_bit = ts_bit ^ 1;
         let epoch_seed = self.epoch_seed();
         let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
+        let cong = imp
+            .congestion
+            .as_ref()
+            .map(|m| m.realize(&self.topology, trace, self.epoch));
         let mut delivered = HashMap::with_capacity(trace.num_flows());
         let mut lost = HashMap::new();
-        let mut fates = FlowFates::default();
+        let mut dropped_at = BTreeMap::new();
+        let mut lost_at = HashMap::new();
+        let mut hops_histogram = BTreeMap::new();
+        let mut fates = FabricFates::default();
+        let mut route = Vec::with_capacity(5);
+        let mut hop_probs = Vec::with_capacity(5);
         for &(f, pkts) in &trace.flows {
-            let in_edge = self.topology.edge_of_host(f.src_host());
-            let out_edge = self.topology.edge_of_host(f.dst_host());
+            let (src, dst) = (f.src_host(), f.dst_host());
+            let in_edge = self.topology.edge_of_host(src);
+            let out_edge = self.topology.edge_of_host(dst);
+            // Lazy route materialization — identical policy to the
+            // per-packet scenario path, so attribution stays byte-equal.
+            hop_probs.clear();
+            let route_len = match &cong {
+                Some(c) => {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                    c.hop_probs(&route, dst, &mut hop_probs);
+                    route.len()
+                }
+                None => self.topology.hops(src, dst, f.key64()),
+            };
+            *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
-            imp.realize_flow(&mut fates, f.key64(), pkts, n_lost, epoch_seed, in_edge);
+            imp.realize_flow(
+                &mut fates,
+                f.key64(),
+                pkts,
+                n_lost,
+                epoch_seed,
+                in_edge,
+                route_len,
+                &hop_probs,
+            );
             let k = fates.skew_split;
             let mut pos = 0u64;
             for (seg_ts, seg_len) in [(prev_bit, k), (ts_bit, pkts - k)] {
@@ -335,9 +564,20 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
+                if cong.is_none() {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                }
+                attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
             }
         }
-        let report = EpochReport { delivered, lost, epoch: self.epoch };
+        let report = EpochReport {
+            delivered,
+            lost,
+            dropped_at,
+            lost_at,
+            hops_histogram,
+            epoch: self.epoch,
+        };
         self.epoch += 1;
         report
     }
@@ -503,8 +743,44 @@ mod tests {
         let rb = sim_b.run_epoch_scenario(&trace, &plan, &ImpairmentSet::none(), &mut hb);
         assert_eq!(ra.delivered, rb.delivered);
         assert_eq!(ra.lost, rb.lost);
+        assert_eq!(ra.dropped_at, rb.dropped_at, "attribution must agree too");
+        assert_eq!(ra.lost_at, rb.lost_at);
+        assert_eq!(ra.hops_histogram, rb.hops_histogram);
         assert_eq!(ha.ingress, hb.ingress);
         assert_eq!(ha.egress, hb.egress);
+    }
+
+    #[test]
+    fn attribution_conserves_and_stays_on_route() {
+        let trace = testbed_trace(WorkloadKind::Vl2, 600, 8, 21);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.2), 0.1, 22);
+        let mut sim = Simulator::new(FatTree::testbed(), SimConfig::default());
+        let mut hooks = Counter::default();
+        let r = sim.run_epoch(&trace, &plan, &mut hooks);
+        // Every lost packet is attributed exactly once.
+        assert_eq!(r.total_attributed(), r.lost.values().sum::<u64>());
+        let topo = FatTree::testbed();
+        for (f, at) in &r.lost_at {
+            assert_eq!(at.values().sum::<u64>(), r.lost[f], "per-victim sum");
+            let route = topo.route(f.src_host(), f.dst_host(), f.key64());
+            for s in at.keys() {
+                assert!(route.contains(s), "attributed off-route: {s:?}");
+            }
+            assert!(r.dominant_drop_switch(f).is_some());
+        }
+        // Histogram covers every packet.
+        assert_eq!(r.hops_histogram.values().sum::<u64>(), r.total_sent());
+    }
+
+    #[test]
+    fn spread_drop_nth_enumerates_exactly_the_marked_indices() {
+        for (pkts, n_lost) in [(10u64, 3u64), (17, 5), (100, 1), (9, 9), (8, 12)] {
+            let marks: Vec<u64> =
+                (0..pkts).filter(|&i| spread_drop(i, pkts, n_lost)).collect();
+            let nth: Vec<u64> =
+                (0..n_lost.min(pkts)).map(|k| spread_drop_nth(k, pkts, n_lost)).collect();
+            assert_eq!(marks, nth, "{pkts}/{n_lost}");
+        }
     }
 
     #[test]

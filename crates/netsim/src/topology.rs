@@ -9,8 +9,10 @@
 
 use chm_common::hash::mix64;
 
-/// Switch roles in the fat-tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Switch roles in the fat-tree. The derived order (Edge < Aggregation <
+/// Core) gives [`SwitchId`] a total order, which the per-switch drop maps
+/// rely on for deterministic (sorted) emission into JSON goldens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SwitchRole {
     /// Top-of-rack switch running the ChameleMon data plane.
     Edge,
@@ -20,8 +22,21 @@ pub enum SwitchRole {
     Core,
 }
 
-/// A switch identifier: role + index within the role.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+impl SwitchRole {
+    /// Short stable label for reports and JSON keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwitchRole::Edge => "edge",
+            SwitchRole::Aggregation => "agg",
+            SwitchRole::Core => "core",
+        }
+    }
+}
+
+/// A switch identifier: role + index within the role. Totally ordered
+/// (by layer, then index) so per-switch maps can be `BTreeMap`s with a
+/// stable iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SwitchId {
     /// The role layer.
     pub role: SwitchRole,
@@ -73,11 +88,28 @@ impl FatTree {
     /// deterministically by `flow_key` (so a flow always takes one path, as
     /// real ECMP hashes the 5-tuple).
     pub fn route(&self, src_host: usize, dst_host: usize, flow_key: u64) -> Vec<SwitchId> {
+        let mut out = Vec::with_capacity(5);
+        self.route_into(src_host, dst_host, flow_key, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`route`](Self::route): clears `out` and
+    /// fills it with the path. The replay hot loops reuse one buffer across
+    /// every flow of an epoch.
+    pub fn route_into(
+        &self,
+        src_host: usize,
+        dst_host: usize,
+        flow_key: u64,
+        out: &mut Vec<SwitchId>,
+    ) {
+        out.clear();
         let se = self.edge_of_host(src_host);
         let de = self.edge_of_host(dst_host);
         if se == de {
             // Same rack: single hop through the shared ToR.
-            return vec![SwitchId { role: SwitchRole::Edge, index: se }];
+            out.push(SwitchId { role: SwitchRole::Edge, index: se });
+            return;
         }
         let sp = self.pod_of_edge(se);
         let dp = self.pod_of_edge(de);
@@ -85,31 +117,37 @@ impl FatTree {
         if sp == dp {
             // Same pod: edge → (one of 2 aggs) → edge.
             let agg = sp * 2 + (h as usize & 1);
-            vec![
-                SwitchId { role: SwitchRole::Edge, index: se },
-                SwitchId { role: SwitchRole::Aggregation, index: agg },
-                SwitchId { role: SwitchRole::Edge, index: de },
-            ]
+            out.push(SwitchId { role: SwitchRole::Edge, index: se });
+            out.push(SwitchId { role: SwitchRole::Aggregation, index: agg });
+            out.push(SwitchId { role: SwitchRole::Edge, index: de });
         } else {
             // Cross-pod: edge → agg → core → agg → edge. The chosen core
             // pins the aggregation switch in each pod (fat-tree wiring).
             let core = (h as usize >> 1) % (self.n_edge / 2);
             let up_agg = sp * 2 + core % 2;
             let down_agg = dp * 2 + core % 2;
-            vec![
-                SwitchId { role: SwitchRole::Edge, index: se },
-                SwitchId { role: SwitchRole::Aggregation, index: up_agg },
-                SwitchId { role: SwitchRole::Core, index: core },
-                SwitchId { role: SwitchRole::Aggregation, index: down_agg },
-                SwitchId { role: SwitchRole::Edge, index: de },
-            ]
+            out.push(SwitchId { role: SwitchRole::Edge, index: se });
+            out.push(SwitchId { role: SwitchRole::Aggregation, index: up_agg });
+            out.push(SwitchId { role: SwitchRole::Core, index: core });
+            out.push(SwitchId { role: SwitchRole::Aggregation, index: down_agg });
+            out.push(SwitchId { role: SwitchRole::Edge, index: de });
         }
     }
 
     /// Hop count (switches traversed) between two hosts for a given flow.
-    pub fn hops(&self, src_host: usize, dst_host: usize, flow_key: u64) -> usize {
-        self.route(src_host, dst_host, flow_key).len()
+    /// Purely locality-determined — no route is materialized.
+    pub fn hops(&self, src_host: usize, dst_host: usize, _flow_key: u64) -> usize {
+        let se = self.edge_of_host(src_host);
+        let de = self.edge_of_host(dst_host);
+        if se == de {
+            1
+        } else if self.pod_of_edge(se) == self.pod_of_edge(de) {
+            3
+        } else {
+            5
+        }
     }
+
 }
 
 #[cfg(test)]

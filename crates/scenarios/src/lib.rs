@@ -51,9 +51,10 @@ pub use runner::{
 };
 
 use chm_netsim::impair::{ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering};
+use chm_netsim::{CongestionModel, Derate, SwitchRole};
 use chm_workloads::{
-    testbed_trace, FlowChurn, FloodModel, LossPlan, Trace, VictimDrift, VictimSelection,
-    WorkloadKind,
+    testbed_trace, FlowChurn, FloodModel, IncastModel, LossPlan, Trace, VictimDrift,
+    VictimSelection, WorkloadKind,
 };
 use chm_common::hash::mix64;
 use chm_common::FiveTuple;
@@ -96,6 +97,9 @@ pub struct Scenario {
     pub flood: Option<FloodModel>,
     /// Per-epoch victim drift.
     pub drift: Option<VictimDrift>,
+    /// Many-to-one traffic concentration (pairs with the congestion model
+    /// in [`Scenario::impairments`] to create fan-in hot spots).
+    pub incast: Option<IncastModel>,
     /// Probability that one switch's collected report is lost in one epoch.
     pub report_loss: f64,
 }
@@ -119,9 +123,32 @@ impl Scenario {
                 churn: None,
                 flood: None,
                 drift: None,
+                incast: None,
                 report_loss: 0.0,
             },
         }
+    }
+
+    /// Re-pins the master seed, re-deriving every dependent sub-seed the
+    /// builder pins at build time (impairments, churn, flood, drift,
+    /// incast) — so a seed variant really is an independent realization of
+    /// the whole pipeline, not just a different base trace.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.impairments.seed = seed ^ 0x1a7a;
+        if let Some(c) = &mut self.churn {
+            c.seed = seed ^ 0xc447;
+        }
+        if let Some(f) = &mut self.flood {
+            f.seed = seed ^ 0xf100d;
+        }
+        if let Some(d) = &mut self.drift {
+            d.seed = seed ^ 0xd21f7;
+        }
+        if let Some(i) = &mut self.incast {
+            i.seed = seed ^ 0x0001_ca57;
+        }
+        self
     }
 
     /// The base (epoch-0) trace.
@@ -134,16 +161,20 @@ impl Scenario {
         )
     }
 
-    /// The flow set live in `epoch`: the base trace evolved by churn, then
-    /// hit by any flood due this epoch.
+    /// The flow set live in `epoch`: the base trace evolved by churn, hit
+    /// by any flood due this epoch, then concentrated by any incast.
     pub fn trace_for_epoch(&self, base: &Trace<FiveTuple>, epoch: u64) -> Trace<FiveTuple> {
         let evolved = match &self.churn {
             Some(c) => c.evolve(base, epoch, self.n_hosts, self.workload),
             None => base.clone(),
         };
-        match &self.flood {
+        let flooded = match &self.flood {
             Some(f) => f.apply(&evolved, epoch, self.n_hosts),
             None => evolved,
+        };
+        match &self.incast {
+            Some(i) => i.apply(&flooded),
+            None => flooded,
         }
     }
 
@@ -250,6 +281,68 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables the per-link congestion model with its calibrated defaults
+    /// (loss arises wherever the offered load saturates a link; see
+    /// [`CongestionModel`]). Returns `self` with an empty derate list —
+    /// follow with [`derate_switch`](Self::derate_switch) /
+    /// [`rolling_tor`](Self::rolling_tor) to create structural hot spots,
+    /// or pair with [`incast`](Self::incast) for a traffic-shaped one.
+    pub fn congestion(mut self) -> Self {
+        self.inner
+            .impairments
+            .congestion
+            .get_or_insert_with(CongestionModel::calibrated);
+        self
+    }
+
+    /// Replaces the congestion model wholesale (expert knob).
+    pub fn congestion_model(mut self, model: CongestionModel) -> Self {
+        self.inner.impairments.congestion = Some(model);
+        self
+    }
+
+    /// Derates every out-link of one switch by `factor` (a brownout),
+    /// enabling the calibrated congestion model if it is not already on.
+    pub fn derate_switch(mut self, role: SwitchRole, index: usize, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "derate factor out of range");
+        self.inner
+            .impairments
+            .congestion
+            .get_or_insert_with(CongestionModel::calibrated)
+            .derates
+            .push(Derate::Switch { role, index, factor });
+        self
+    }
+
+    /// A degradation rolling across the ToRs: every `period` epochs the
+    /// derated edge switch advances to the next one. Enables the calibrated
+    /// congestion model if needed.
+    pub fn rolling_tor(mut self, period: u64, factor: f64) -> Self {
+        assert!(period >= 1, "rolling period must be >= 1");
+        assert!((0.0..=1.0).contains(&factor), "derate factor out of range");
+        self.inner
+            .impairments
+            .congestion
+            .get_or_insert_with(CongestionModel::calibrated)
+            .derates
+            .push(Derate::RollingEdge { period, factor });
+        self
+    }
+
+    /// Concentrates a `frac` fraction of the flows on `target_host`
+    /// (many-to-one incast) and enables the calibrated congestion model so
+    /// the fan-in actually loses packets at the target's ToR.
+    pub fn incast(mut self, frac: f64, target_host: u32) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "incast fraction out of range");
+        self.inner.incast =
+            Some(IncastModel { frac, target_host, seed: self.inner.seed ^ 0x0001_ca57 });
+        self.inner
+            .impairments
+            .congestion
+            .get_or_insert_with(CongestionModel::calibrated);
+        self
+    }
+
     /// Adds per-epoch flow churn.
     pub fn churn(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "churn rate out of range");
@@ -283,21 +376,12 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Finalizes the scenario. The impairment seed is pinned to the
-    /// scenario seed here so a builder chain can set `.seed()` at any
-    /// position.
-    pub fn build(mut self) -> Scenario {
-        self.inner.impairments.seed = self.inner.seed ^ 0x1a7a;
-        if let Some(c) = &mut self.inner.churn {
-            c.seed = self.inner.seed ^ 0xc447;
-        }
-        if let Some(f) = &mut self.inner.flood {
-            f.seed = self.inner.seed ^ 0xf100d;
-        }
-        if let Some(d) = &mut self.inner.drift {
-            d.seed = self.inner.seed ^ 0xd21f7;
-        }
-        self.inner
+    /// Finalizes the scenario. The dependent sub-seeds are pinned to the
+    /// scenario seed here (via [`Scenario::with_seed`]) so a builder chain
+    /// can set `.seed()` at any position.
+    pub fn build(self) -> Scenario {
+        let seed = self.inner.seed;
+        self.inner.with_seed(seed)
     }
 }
 
@@ -320,6 +404,27 @@ mod tests {
         let b = Scenario::builder("x").churn(0.1).seed(9).build();
         assert_eq!(a.churn, b.churn);
         assert_eq!(a.impairments, b.impairments);
+    }
+
+    #[test]
+    fn with_seed_rederives_every_sub_seed() {
+        let s = Scenario::builder("x")
+            .seed(9)
+            .churn(0.1)
+            .flood(2, 5, 100)
+            .victim_drift(0.2)
+            .incast(0.1, 3)
+            .build();
+        let v = s.clone().with_seed(10);
+        assert_ne!(v.impairments.seed, s.impairments.seed);
+        assert_ne!(v.churn.unwrap().seed, s.churn.unwrap().seed);
+        assert_ne!(v.flood.unwrap().seed, s.flood.unwrap().seed);
+        assert_ne!(v.drift.unwrap().seed, s.drift.unwrap().seed);
+        assert_ne!(v.incast.unwrap().seed, s.incast.unwrap().seed);
+        // Re-pinning the original seed is the identity.
+        let back = v.with_seed(9);
+        assert_eq!(back.impairments, s.impairments);
+        assert_eq!(back.incast, s.incast);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! is reproducible bit for bit — same seed, byte-identical JSON.
 
 use crate::Scenario;
+use chm_netsim::SwitchRole;
 use chm_workloads::{VictimSelection, WorkloadKind};
 
 /// The standard ≥8-scenario matrix. `quick` shrinks flow counts and epoch
@@ -116,6 +117,40 @@ pub fn standard_matrix(quick: bool) -> Vec<Scenario> {
             .churn(0.05)
             .victim_drift(0.15)
             .build(),
+        // --- congestion-coupled scenarios: loss arises from the fabric's
+        // per-link state, every drop is attributed to a real switch, and
+        // the controller's localization pass is scored against it. -------
+        //
+        // Many-to-one fan-in: 20% of flows converge on host 0; its ToR's
+        // downlink saturates and drops, all attributed to edge 0.
+        Scenario::builder("incast-hotspot")
+            .seed(0xA11A)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Cache)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .incast(0.2, 0)
+            .build(),
+        // A browned-out core: core 0's out-links run at 40% capacity, so
+        // roughly a quarter of all cross-pod traffic bleeds at one switch.
+        Scenario::builder("core-brownout")
+            .seed(0xA11B)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .derate_switch(SwitchRole::Core, 0, 0.4)
+            .build(),
+        // A degradation rolling across the ToRs every two epochs: the
+        // localization ranking must track a moving culprit.
+        Scenario::builder("rolling-tor")
+            .seed(0xA11C)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Vl2)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .rolling_tor(2, 0.35)
+            .build(),
     ]
 }
 
@@ -136,9 +171,30 @@ mod tests {
             "reordering",
             "flow-churn",
             "hh-flood",
+            "incast-hotspot",
+            "core-brownout",
+            "rolling-tor",
         ] {
             assert!(names.contains(required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn congestion_scenarios_are_congestion_coupled() {
+        let m = standard_matrix(true);
+        let congested: Vec<&Scenario> = m
+            .iter()
+            .filter(|s| s.impairments.congestion.is_some())
+            .collect();
+        assert!(congested.len() >= 3, "need >= 3 congestion scenarios");
+        for s in &congested {
+            // Their loss must come from the fabric, not a flat plan.
+            assert_eq!(s.loss_rate, 0.0, "{}: plan loss should be off", s.name);
+        }
+        assert!(
+            congested.iter().any(|s| s.incast.is_some()),
+            "an incast scenario must be present"
+        );
     }
 
     #[test]

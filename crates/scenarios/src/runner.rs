@@ -13,7 +13,10 @@
 use crate::Scenario;
 use chamelemon::config::DataPlaneConfig;
 use chamelemon::dataplane::Hierarchy;
-use chamelemon::{CollectedGroup, Controller, EdgeDataPlane, RuntimeConfig};
+use chamelemon::{
+    CollectedGroup, Controller, EdgeDataPlane, Localization, Localizer, RuntimeConfig,
+};
+use chm_baselines::{LossDetector, LossRadar};
 use chm_common::metrics::{average_relative_error, detection_score};
 use chm_common::FiveTuple;
 use chm_netsim::sim::{BurstHooks, EdgeHooks, EpochReport};
@@ -59,6 +62,22 @@ pub struct EpochMetrics {
     pub flows: usize,
     /// Packets sent into the fabric this epoch.
     pub packets_sent: u64,
+    /// Localization top-1 hit rate: the fraction of ground-truth victims
+    /// whose true dominant drop switch is the controller's first-ranked
+    /// candidate (1.0 when the epoch has no victims).
+    pub loc_top1: f64,
+    /// Localization top-3 hit rate.
+    pub loc_top3: f64,
+    /// LossRadar baseline: victim-detection F1 over the same epoch (0 when
+    /// its IBF fails to decode).
+    pub lr_f1: f64,
+    /// LossRadar baseline: did the delta IBF decode?
+    pub lr_decode_ok: bool,
+    /// LossRadar baseline: localization top-1 hit rate (its decoded victims
+    /// fed through the same blame localizer).
+    pub lr_top1: f64,
+    /// LossRadar baseline: localization top-3 hit rate.
+    pub lr_top3: f64,
 }
 
 /// Everything observable from one stepped epoch — enough for the
@@ -72,6 +91,9 @@ pub struct EpochTrace {
     pub received: Vec<bool>,
     /// The controller's per-victim loss estimates.
     pub loss_report: HashMap<FiveTuple, u64>,
+    /// The controller's localization pass: per-victim candidate switches
+    /// and the network-wide suspect ranking.
+    pub localization: Localization<FiveTuple>,
     /// The runtime staged for the next epoch.
     pub staged: RuntimeConfig,
     /// The epoch's scorecard.
@@ -95,6 +117,18 @@ pub struct ScenarioResult {
     pub decode_success: f64,
     /// Fraction of switch reports that survived the control channel.
     pub report_delivery: f64,
+    /// Mean localization top-1 hit rate over all epochs.
+    pub mean_loc_top1: f64,
+    /// Mean localization top-3 hit rate over all epochs.
+    pub mean_loc_top3: f64,
+    /// LossRadar baseline: mean victim-detection F1.
+    pub lr_mean_f1: f64,
+    /// LossRadar baseline: fraction of epochs whose delta IBF decoded.
+    pub lr_decode_success: f64,
+    /// LossRadar baseline: mean localization top-1 hit rate.
+    pub lr_mean_top1: f64,
+    /// LossRadar baseline: mean localization top-3 hit rate.
+    pub lr_mean_top3: f64,
 }
 
 /// The live stack: per-edge data planes, the central controller, and the
@@ -106,6 +140,9 @@ pub struct ScenarioStack {
     pub controller: Controller<FiveTuple>,
     /// The fabric simulator.
     pub simulator: Simulator,
+    /// The LossRadar comparison track's localizer (its decoded victims run
+    /// through the same blame accumulation as ChameleMon's).
+    lr_localizer: Localizer,
 }
 
 struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
@@ -161,9 +198,12 @@ impl ScenarioStack {
         let edges = (0..topology.n_edge)
             .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
             .collect();
+        let mut controller = Controller::new(cfg);
+        controller.enable_localization(topology.clone());
         ScenarioStack {
             edges,
-            controller: Controller::new(cfg),
+            controller,
+            lr_localizer: Localizer::new(topology.clone()),
             simulator: Simulator::new(
                 topology,
                 SimConfig { epoch_ms: 50.0, seed: s.seed ^ 0x51b },
@@ -224,6 +264,26 @@ impl ScenarioStack {
             e.stage_runtime(staged);
             e.flip(ts_bit);
         }
+        let localization = self
+            .controller
+            .localize(&analysis)
+            .expect("stack always enables localization");
+        let (loc_top1, loc_top3) = localization_hits(&report, &localization);
+
+        // The LossRadar comparison track: an idealized per-packet IBF pair
+        // fed from the realized ground truth (upstream sees every packet,
+        // downstream the delivered ones), provisioned for ~1.5% packet
+        // loss — the paper's premise that its memory scales with *lost
+        // packets*, which heavy scenarios are expected to overflow.
+        let (lr_report, lr_decode_ok) = lossradar_epoch(s, &trace, &report);
+        let lr_score = {
+            let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
+            detection_score(lr_report.keys().copied(), &truth)
+        };
+        // LossRadar decodes victims only — it has no flowsets to exonerate
+        // with, so its localizer runs on pure victim blame.
+        let lr_loc = self.lr_localizer.observe_epoch(&lr_report, &HashMap::new());
+        let (lr_top1, lr_top3) = localization_hits(&report, &lr_loc);
 
         let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
         let score = detection_score(analysis.loss_report.keys().copied(), &truth);
@@ -245,17 +305,85 @@ impl ScenarioStack {
             reported_victims: analysis.loss_report.len(),
             flows: trace.num_flows(),
             packets_sent: report.total_sent(),
+            loc_top1,
+            loc_top3,
+            lr_f1: lr_score.f1,
+            lr_decode_ok,
+            lr_top1,
+            lr_top3,
         };
         EpochTrace {
             report,
             collected,
             received,
             loss_report: analysis.loss_report,
+            localization,
             staged,
             metrics,
         }
     }
 }
+
+/// Top-1/top-3 localization hit rates of one epoch: over the ground-truth
+/// victims, how often the victim's true dominant drop switch leads (or
+/// makes the top 3 of) its ranked candidate list. Victims the detector
+/// missed entirely count as localization misses — the metric couples
+/// detection and localization on purpose (an unfound victim is an
+/// unlocalized one). Epochs with no victims score 1.0.
+fn localization_hits(
+    report: &EpochReport<FiveTuple>,
+    loc: &Localization<FiveTuple>,
+) -> (f64, f64) {
+    let mut total = 0u64;
+    let mut hit1 = 0u64;
+    let mut hit3 = 0u64;
+    for f in report.lost_at.keys() {
+        let Some(truth) = report.dominant_drop_switch(f) else { continue };
+        total += 1;
+        if let Some(cands) = loc.per_victim.get(f) {
+            if cands.first() == Some(&truth) {
+                hit1 += 1;
+            }
+            if cands.iter().take(3).any(|&s| s == truth) {
+                hit3 += 1;
+            }
+        }
+    }
+    if total == 0 {
+        (1.0, 1.0)
+    } else {
+        (hit1 as f64 / total as f64, hit3 as f64 / total as f64)
+    }
+}
+
+/// Runs the per-epoch LossRadar baseline and returns its decoded victim
+/// loss map (empty on decode failure) plus the decode outcome.
+fn lossradar_epoch(
+    s: &Scenario,
+    trace: &Trace<FiveTuple>,
+    report: &EpochReport<FiveTuple>,
+) -> (HashMap<FiveTuple, u64>, bool) {
+    let cells = (report.total_sent() as f64 * 0.015).max(256.0);
+    let memory_bytes = (cells * 10.0) as usize;
+    let mut lr: LossRadar<FiveTuple> =
+        LossRadar::new(memory_bytes, s.seed ^ LR_SALT ^ report.epoch);
+    for &(f, pkts) in &trace.flows {
+        let lost = report.lost.get(&f).copied().unwrap_or(0);
+        for seq in 0..pkts {
+            lr.observe_upstream(&f, seq as u32);
+        }
+        for seq in lost..pkts {
+            lr.observe_downstream(&f, seq as u32);
+        }
+    }
+    match lr.decode_losses() {
+        Some(m) => (m, true),
+        None => (HashMap::new(), false),
+    }
+}
+
+/// Salt separating the LossRadar hash seeds from the scenario seed.
+const LR_SALT: u64 = 0x10_55;
 
 /// Salt separating the data-plane hash seeds from the scenario seed.
 pub const CFG_SALT: u64 = 0xd9c0;
@@ -295,6 +423,13 @@ pub fn run_with_config(
     } else {
         delivered_reports as f64 / total_reports as f64
     };
+    let mean_loc_top1 = epochs.iter().map(|e| e.loc_top1).sum::<f64>() / n;
+    let mean_loc_top3 = epochs.iter().map(|e| e.loc_top3).sum::<f64>() / n;
+    let lr_mean_f1 = epochs.iter().map(|e| e.lr_f1).sum::<f64>() / n;
+    let lr_decode_success =
+        epochs.iter().filter(|e| e.lr_decode_ok).count() as f64 / n;
+    let lr_mean_top1 = epochs.iter().map(|e| e.lr_top1).sum::<f64>() / n;
+    let lr_mean_top3 = epochs.iter().map(|e| e.lr_top3).sum::<f64>() / n;
     ScenarioResult {
         name: s.name.clone(),
         mode,
@@ -303,5 +438,11 @@ pub fn run_with_config(
         mean_are,
         decode_success,
         report_delivery,
+        mean_loc_top1,
+        mean_loc_top3,
+        lr_mean_f1,
+        lr_decode_success,
+        lr_mean_top1,
+        lr_mean_top3,
     }
 }

@@ -23,11 +23,25 @@ fn assert_differential(s: &Scenario) {
         assert_eq!(a.report.epoch, b.report.epoch, "{name}: epoch index");
         assert_eq!(a.report.delivered, b.report.delivered, "{name} e{e}: delivered");
         assert_eq!(a.report.lost, b.report.lost, "{name} e{e}: lost");
+        assert_eq!(a.report.dropped_at, b.report.dropped_at, "{name} e{e}: dropped_at");
+        assert_eq!(a.report.lost_at, b.report.lost_at, "{name} e{e}: lost_at");
+        assert_eq!(
+            a.report.hops_histogram, b.report.hops_histogram,
+            "{name} e{e}: hops histogram"
+        );
         assert_eq!(a.received, b.received, "{name} e{e}: report-loss mask");
         assert_eq!(a.collected.len(), b.collected.len(), "{name} e{e}: edges");
         for (i, (ga, gb)) in a.collected.iter().zip(&b.collected).enumerate() {
             assert_eq!(ga.runtime, gb.runtime, "{name} e{e} edge{i}: runtime");
             assert_eq!(ga.classifier, gb.classifier, "{name} e{e} edge{i}: classifier");
+            assert_eq!(
+                ga.ingress_pkts, gb.ingress_pkts,
+                "{name} e{e} edge{i}: ingress counter"
+            );
+            assert_eq!(
+                ga.egress_pkts, gb.egress_pkts,
+                "{name} e{e} edge{i}: egress counter"
+            );
             assert_eq!(ga.up_hh, gb.up_hh, "{name} e{e} edge{i}: up_hh");
             assert_eq!(ga.up_hl, gb.up_hl, "{name} e{e} edge{i}: up_hl");
             assert_eq!(ga.up_ll, gb.up_ll, "{name} e{e} edge{i}: up_ll");
@@ -35,6 +49,7 @@ fn assert_differential(s: &Scenario) {
             assert_eq!(ga.down_ll, gb.down_ll, "{name} e{e} edge{i}: down_ll");
         }
         assert_eq!(a.loss_report, b.loss_report, "{name} e{e}: loss report");
+        assert_eq!(a.localization, b.localization, "{name} e{e}: localization");
         assert_eq!(a.staged, b.staged, "{name} e{e}: staged runtime");
         assert_eq!(a.metrics, b.metrics, "{name} e{e}: metrics");
     }
@@ -72,6 +87,9 @@ fn differential_holds_under_maximal_impairment_intensity() {
         .churn(0.4)
         .flood(2, 20, 3_000)
         .victim_drift(0.5)
+        .incast(0.4, 5)
+        .derate_switch(chm_netsim::SwitchRole::Aggregation, 1, 0.2)
+        .rolling_tor(1, 0.3)
         .build();
     assert_differential(&s);
 }

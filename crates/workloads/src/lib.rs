@@ -22,5 +22,5 @@ pub mod loss;
 pub mod trace;
 
 pub use distributions::{FlowSizeDistribution, WorkloadKind};
-pub use loss::{LossPlan, VictimDrift, VictimSelection};
+pub use loss::{IncastModel, LossPlan, VictimDrift, VictimSelection};
 pub use trace::{caida_like_trace, testbed_trace, FlowChurn, FloodModel, Trace};

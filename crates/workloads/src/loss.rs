@@ -193,6 +193,60 @@ impl VictimDrift {
     }
 }
 
+/// Incast concentration: a seeded fraction of the trace's flows is
+/// redirected at a single target host, the classic many-to-one fan-in that
+/// saturates the target's ToR downlink. Unlike a [`LossPlan`], an incast
+/// does not *mark* victims — it reshapes the offered load so a per-link
+/// congestion model (`chm_netsim::congestion`) makes victims out of
+/// whatever crosses the saturated link, with the drop attributed to the
+/// target's ToR.
+///
+/// Selection is keyed by flow identity (like [`VictimDrift`]'s priority
+/// order), so the redirected set is stable across epochs and survives
+/// composition with churn and floods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IncastModel {
+    /// Fraction of flows redirected at the target, in `[0, 1]`.
+    pub frac: f64,
+    /// The host every redirected flow converges on.
+    pub target_host: u32,
+    /// Seed of the selection.
+    pub seed: u64,
+}
+
+impl IncastModel {
+    /// The trace with this epoch's incast applied: each selected flow's
+    /// destination is rewritten to the target host (flows already at the
+    /// target, originating there, or colliding with an existing 5-tuple are
+    /// left alone).
+    pub fn apply(&self, base: &crate::trace::Trace<chm_common::FiveTuple>)
+        -> crate::trace::Trace<chm_common::FiveTuple> {
+        assert!((0.0..=1.0).contains(&self.frac), "incast fraction out of range");
+        use chm_common::FlowId as _;
+        let threshold = (self.frac * (1u64 << 53) as f64) as u64;
+        // Guards both collision classes: a redirected tuple landing on an
+        // existing base flow, and two flows that differed only in dst_ip
+        // collapsing onto the same redirected tuple (each redirect is
+        // recorded before the next is attempted).
+        let mut seen: std::collections::HashSet<chm_common::FiveTuple> =
+            base.flows.iter().map(|&(f, _)| f).collect();
+        let target_ip = crate::trace::host_ip(self.target_host);
+        let mut flows = Vec::with_capacity(base.num_flows());
+        for &(f, s) in &base.flows {
+            let pick = (mix64(self.seed ^ mix64(f.key64())) >> 11) < threshold;
+            if pick && f.dst_ip != target_ip && f.src_ip != target_ip {
+                let redirected = chm_common::FiveTuple { dst_ip: target_ip, ..f };
+                if seen.insert(redirected) {
+                    flows.push((redirected, s));
+                    continue;
+                }
+            }
+            flows.push((f, s));
+        }
+        crate::trace::Trace { flows }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +377,32 @@ mod tests {
         // More victims than flows: clamp to the whole trace.
         let all = drift.plan(&t, VictimSelection::RandomN(100), 0.1, 2);
         assert_eq!(all.num_victims(), 20);
+    }
+
+    #[test]
+    fn incast_redirects_a_stable_keyed_fraction() {
+        let t = crate::testbed_trace(crate::WorkloadKind::Dctcp, 1_000, 8, 17);
+        let inc = IncastModel { frac: 0.25, target_host: 3, seed: 18 };
+        let a = inc.apply(&t);
+        let b = inc.apply(&t);
+        assert_eq!(a.flows, b.flows, "selection must be deterministic");
+        assert_eq!(a.num_flows(), t.num_flows(), "incast redirects, never adds");
+        let target_ip = crate::trace::host_ip(3);
+        let before = t.flows.iter().filter(|(f, _)| f.dst_ip == target_ip).count();
+        let after = a.flows.iter().filter(|(f, _)| f.dst_ip == target_ip).count();
+        let gained = after - before;
+        // ~25% of the non-target flows converge (selection is hash-keyed,
+        // so allow binomial slack).
+        assert!((180..320).contains(&gained), "redirected {gained}");
+        // Sizes ride along unchanged.
+        let total_before: u64 = t.flows.iter().map(|&(_, s)| s).sum();
+        let total_after: u64 = a.flows.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total_before, total_after);
+        // No duplicate 5-tuples after redirection (two flows differing
+        // only in dst_ip must not collapse onto one redirected tuple).
+        let unique: std::collections::HashSet<_> =
+            a.flows.iter().map(|&(f, _)| f).collect();
+        assert_eq!(unique.len(), a.num_flows(), "redirection created duplicates");
     }
 
     #[test]

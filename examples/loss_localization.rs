@@ -1,43 +1,48 @@
-//! Loss localization: combine ChameleMon's *who* (which flows lost how many
-//! packets, from the edge-deployed Fermat encoders) with the detailed
-//! fat-tree simulation's *where* (which switch dropped them) — the
-//! complementary visibility the paper attributes to per-link deployments
-//! like LossRadar (§6).
+//! Loss localization, end to end: a browned-out core switch drops packets
+//! via the per-link congestion model, the fabric replay attributes every
+//! drop to the switch that caused it (ground truth), and the ChameleMon
+//! controller — which only sees the edge sketches — runs its localization
+//! pass to rank the suspect switches from the victims' ingress/egress loss
+//! asymmetry. The example prints both sides and scores the match.
 //!
 //! Run with: `cargo run --release --example loss_localization`
 
-use chm_netsim::{run_detailed, FatTree, SwitchRole};
-use chm_workloads::trace::ip_host;
-use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+use chm_scenarios::{ReplayMode, Scenario, ScenarioStack};
+use chm_netsim::SwitchRole;
+use chm_workloads::VictimSelection;
 
 fn main() {
-    let topo = FatTree::testbed();
-    let trace = testbed_trace(WorkloadKind::Hadoop, 3_000, 8, 7);
-    let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.08), 0.05, 8);
+    // A core brownout: core 0's out-links run at 40% capacity. No loss
+    // plan at all — every drop is congestion, attributed to a real switch.
+    let s = Scenario::builder("brownout-demo")
+        .seed(0xC0DE)
+        .flows(2_000)
+        .epochs(4)
+        .loss(VictimSelection::RandomN(0), 0.0)
+        .derate_switch(SwitchRole::Core, 0, 0.4)
+        .build();
 
-    let report = run_detailed(
-        &topo,
-        &trace,
-        &plan,
-        |f| (ip_host(f.src_ip) as usize, ip_host(f.dst_ip) as usize),
-        9,
-    );
-
-    println!(
-        "{} packets delivered, {} dropped across {} victim flows\n",
-        report.total_delivered(),
-        report.total_dropped(),
-        report.lost.len()
-    );
-
-    println!("losses attributed per switch:");
-    let mut rows: Vec<_> = report.dropped_at.iter().collect();
-    rows.sort_by_key(|(s, _)| (format!("{:?}", s.role), s.index));
-    for (switch, drops) in rows {
-        let fwd = report.forwarded.get(switch).copied().unwrap_or(0);
-        let rate = *drops as f64 / (fwd + drops) as f64 * 100.0;
+    let mut stack = ScenarioStack::new(&s);
+    let base = s.base_trace();
+    let mut last = None;
+    for _ in 0..s.epochs {
+        let t = stack.step_epoch(&s, &base, ReplayMode::Burst);
         println!(
-            "  {:>12} {:>2}: {:>6} dropped / {:>8} seen  ({:.2}%)",
+            "epoch {}: {} victims (controller found {}), loc hit@1 {:.2}, hit@3 {:.2}",
+            t.metrics.epoch,
+            t.metrics.true_victims,
+            t.metrics.reported_victims,
+            t.metrics.loc_top1,
+            t.metrics.loc_top3,
+        );
+        last = Some(t);
+    }
+    let t = last.expect("at least one epoch");
+
+    println!("\nground truth — losses attributed per switch:");
+    for (switch, drops) in &t.report.dropped_at {
+        println!(
+            "  {:>12} {:>2}: {:>6} dropped",
             match switch.role {
                 SwitchRole::Edge => "edge",
                 SwitchRole::Aggregation => "aggregation",
@@ -45,28 +50,32 @@ fn main() {
             },
             switch.index,
             drops,
-            fwd + drops,
-            rate
         );
     }
 
-    // Route-length mix sanity: the 2-pod fat-tree yields 1/3/5-switch paths.
+    println!("\ncontroller's suspect ranking (blame normalized by known transit):");
+    for (switch, score) in t.localization.ranking.iter().take(5) {
+        println!("  {:>12} {:>2}: score {:.3}", switch.role.label(), switch.index, score);
+    }
+
     println!("\nroute length histogram (switches on path -> packets):");
-    let mut hops: Vec<_> = report.hops_histogram.iter().collect();
-    hops.sort();
-    for (h, n) in hops {
+    for (h, n) in &t.report.hops_histogram {
         println!("  {h} switches: {n} packets");
     }
 
     // The worst victim and where it bled.
-    if let Some((flow, points)) = report.lost.iter().max_by_key(|(_, p)| p.len()) {
+    if let Some((flow, at)) = t
+        .report
+        .lost_at
+        .iter()
+        .max_by_key(|(_, at)| at.values().sum::<u64>())
+    {
         println!(
-            "\nworst victim {:?} lost {} packets; first three drop points:",
+            "\nworst victim {:?} lost {} packets at {:?}; controller's candidates: {:?}",
             flow,
-            points.len()
+            at.values().sum::<u64>(),
+            at.keys().collect::<Vec<_>>(),
+            t.localization.per_victim.get(flow).map(|c| &c[..c.len().min(3)]),
         );
-        for p in points.iter().take(3) {
-            println!("  hop {} at {:?} {}", p.hop, p.switch.role, p.switch.index);
-        }
     }
 }
