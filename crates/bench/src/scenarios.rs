@@ -125,9 +125,9 @@ pub fn run_matrix(quick: bool, mode: ReplayMode) -> Vec<ScenarioResult> {
 pub fn print_table(run: &MatrixRun) {
     println!("\n== scenarios — adversarial matrix ==");
     println!(
-        "{:>16} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "{:>17} {:>7} {:>8} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
         "scenario", "epochs", "mean_f1", "mean_are", "decode", "loc@1", "loc@3", "lr_f1",
-        "lr_loc@3", "victims"
+        "fr_f1", "qdepth", "victims"
     );
     for (i, r) in run.results.iter().enumerate() {
         let victims: usize = r.epochs.iter().map(|e| e.true_victims).sum();
@@ -138,7 +138,7 @@ pub fn print_table(run: &MatrixRun) {
             String::new()
         };
         println!(
-            "{:>16} {:>7} {:>8.4} {:>8.4} {:>7.2} {:>7.2} {:>7.2} {:>8.4} {:>8.2} {:>8}{}",
+            "{:>17} {:>7} {:>8.4} {:>8.4} {:>7.2} {:>7.2} {:>7.2} {:>8.4} {:>8.4} {:>8.1} {:>8}{}",
             r.name,
             r.epochs.len(),
             r.mean_f1,
@@ -147,7 +147,8 @@ pub fn print_table(run: &MatrixRun) {
             r.mean_loc_top1,
             r.mean_loc_top3,
             r.lr_mean_f1,
-            r.lr_mean_top3,
+            r.fr_mean_f1,
+            r.mean_qdepth_max,
             victims,
             band,
         );
@@ -193,6 +194,19 @@ pub fn to_json(run: &MatrixRun, quick: bool) -> String {
             json_number(r.lr_mean_top1),
             json_number(r.lr_mean_top3),
         ));
+        out.push_str("      \"flowradar\": {");
+        out.push_str(&format!(
+            "\"mean_f1\": {}, \"decode_success\": {}, \"mean_loc_top1\": {}, \
+             \"mean_loc_top3\": {}}},\n",
+            json_number(r.fr_mean_f1),
+            json_number(r.fr_decode_success),
+            json_number(r.fr_mean_top1),
+            json_number(r.fr_mean_top3),
+        ));
+        out.push_str(&format!(
+            "      \"mean_qdepth_max\": {},\n",
+            json_number(r.mean_qdepth_max)
+        ));
         if run.n_seeds > 1 {
             let b = &run.bands[i];
             let (f1_m, f1_s) = b.stats(|r| r.mean_f1);
@@ -220,7 +234,9 @@ pub fn to_json(run: &MatrixRun, quick: bool) -> String {
                  \"reports\": {}, \"true_victims\": {}, \
                  \"reported_victims\": {}, \"flows\": {}, \"packets\": {}, \
                  \"loc_top1\": {}, \"loc_top3\": {}, \"lr_f1\": {}, \
-                 \"lr_decode_ok\": {}, \"lr_top1\": {}, \"lr_top3\": {}}}{}\n",
+                 \"lr_decode_ok\": {}, \"lr_top1\": {}, \"lr_top3\": {}, \
+                 \"fr_f1\": {}, \"fr_decode_ok\": {}, \"fr_top1\": {}, \
+                 \"fr_top3\": {}, \"qdepth_max\": {}}}{}\n",
                 e.epoch,
                 json_number(e.f1),
                 json_number(e.precision),
@@ -238,6 +254,11 @@ pub fn to_json(run: &MatrixRun, quick: bool) -> String {
                 e.lr_decode_ok,
                 json_number(e.lr_top1),
                 json_number(e.lr_top3),
+                json_number(e.fr_f1),
+                e.fr_decode_ok,
+                json_number(e.fr_top1),
+                json_number(e.fr_top3),
+                json_number(e.qdepth_max),
                 if j + 1 < r.epochs.len() { "," } else { "" },
             ));
         }

@@ -16,15 +16,17 @@
 
 use crate::config::{DataPlaneConfig, Partition, RuntimeConfig};
 use crate::dataplane::CollectedGroup;
-use crate::localize::{Localization, Localizer};
+use crate::localize::{
+    EpochEvidence, Localization, Localizer, PARTIAL_DECODE_CONFIDENCE,
+};
 use chm_common::hash::PairwiseHash;
 use chm_common::FlowId;
 use chm_fermat::{DecodeScratch, FermatSketch};
 use chm_netsim::sim::Routable;
-use chm_netsim::FatTree;
+use chm_netsim::{FatTree, QueueDepthStat, SwitchId};
 use chm_tower::MracConfig;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Load-factor targets (§4.3: reconfigure toward 70%, act below 60%).
 pub const TARGET_LOAD: f64 = 0.70;
@@ -189,6 +191,27 @@ impl<F: FlowId> Controller<F> {
     where
         F: Routable,
     {
+        self.localize_with_telemetry(a, &BTreeMap::new())
+    }
+
+    /// The localization pass with fabric queue telemetry: like
+    /// [`localize`](Self::localize), but per-switch queue-depth exports
+    /// (INT/queue-occupancy counters, e.g.
+    /// [`EpochReport::queue_depth`](chm_netsim::sim::EpochReport)) boost
+    /// the suspicion of switches that buffered heavily this epoch. Blame is
+    /// additionally weighted by decode confidence: victims recovered from a
+    /// *partial* delta-HL decode (the encoder stalled; the flow is only
+    /// HH-attested) count at [`PARTIAL_DECODE_CONFIDENCE`] instead of 1.0,
+    /// so an epoch of shaky decodes cannot swing the ranking as hard as a
+    /// clean one.
+    pub fn localize_with_telemetry(
+        &mut self,
+        a: &EpochAnalysis<F>,
+        queue_depth: &BTreeMap<SwitchId, QueueDepthStat>,
+    ) -> Option<Localization<F>>
+    where
+        F: Routable,
+    {
         let localizer = self.localizer.as_mut()?;
         // The decoded HH flowsets are the controller's traffic sample: the
         // flow existed, crossed its route, and its recorded count plus Th
@@ -202,7 +225,27 @@ impl<F: FlowId> Controller<F> {
                 *e = (*e).max(est);
             }
         }
-        Some(localizer.observe_epoch(&a.loss_report, &traffic))
+        // Decode confidence: when the delta-HL decode stalled, every
+        // reported victim the fully-decoded LL flowset cannot vouch for
+        // came from the partial peel — discount it.
+        let mut confidence: HashMap<F, f64> = HashMap::new();
+        if a.hl_flowset.is_none() {
+            for f in a.loss_report.keys() {
+                let ll_attested = a
+                    .ll_flowset
+                    .as_ref()
+                    .is_some_and(|ll| ll.contains_key(f));
+                if !ll_attested {
+                    confidence.insert(*f, PARTIAL_DECODE_CONFIDENCE);
+                }
+            }
+        }
+        Some(localizer.observe_evidence(EpochEvidence {
+            loss_report: &a.loss_report,
+            confidence: &confidence,
+            traffic: &traffic,
+            queue_depth,
+        }))
     }
 
     /// Nearest size to `m` not on the failed-size list: steps up toward

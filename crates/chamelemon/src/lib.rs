@@ -51,7 +51,9 @@ pub mod tasks;
 pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
 pub use control::{Controller, EpochAnalysis, NetworkState};
 pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
-pub use localize::{Localization, Localizer};
+pub use localize::{
+    EpochEvidence, Localization, Localizer, PARTIAL_DECODE_CONFIDENCE,
+};
 
 use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
 use chm_netsim::sim::{EpochReport, Routable};

@@ -36,11 +36,39 @@
 //! ranking — are a pure function of the epoch sequence.
 
 use chm_netsim::sim::Routable;
-use chm_netsim::{FatTree, SwitchId};
+use chm_netsim::{FatTree, QueueDepthStat, SwitchId};
 use std::collections::{BTreeMap, HashMap};
 
 /// Default per-epoch decay of accumulated blame.
 pub const BLAME_DECAY: f64 = 0.5;
+
+/// Blame weight of a victim recovered from a *partial* delta-HL decode.
+/// A full FermatSketch decode is exact, so its victims carry weight 1.0; a
+/// flow peeled before a decode stall is only HH-attested — real, but its
+/// loss estimate may be off (its cancelling negative twin can be stuck in
+/// the residue), so its blame is discounted rather than trusted outright.
+pub const PARTIAL_DECODE_CONFIDENCE: f64 = 0.5;
+
+/// One epoch's localization inputs: what the controller decoded, how much
+/// it trusts each victim's estimate, and what the switches told it about
+/// their queues.
+pub struct EpochEvidence<'a, F> {
+    /// Decoded victim flow → estimated lost packets (blame mass).
+    pub loss_report: &'a HashMap<F, u64>,
+    /// Per-victim decode confidence in `[0, 1]`; victims absent from the
+    /// map count as fully trusted (1.0). Blame is scaled by it, transit is
+    /// not — an uncertain victim still certainly *crossed* its route.
+    pub confidence: &'a HashMap<F, f64>,
+    /// Every flow the controller decoded this epoch (victim or healthy)
+    /// with its estimated packet count — healthy flows exonerate the
+    /// switches they crossed.
+    pub traffic: &'a HashMap<F, u64>,
+    /// Per-switch queue-depth telemetry (INT/queue-occupancy export from
+    /// the fabric). A deep queue corroborates blame: the scores of switches
+    /// that buffered heavily are boosted relative to those that stayed
+    /// shallow. Empty = no telemetry, scoring unchanged.
+    pub queue_depth: &'a BTreeMap<SwitchId, QueueDepthStat>,
+}
 
 /// One epoch's localization output.
 #[derive(Debug, Clone)]
@@ -74,6 +102,10 @@ pub struct Localizer {
     topology: FatTree,
     blame: BTreeMap<SwitchId, f64>,
     transit: BTreeMap<SwitchId, f64>,
+    /// Current-epoch telemetry boost per switch (normalized mean queue
+    /// depth in `[0, 1]`); replaced wholesale each observation, empty when
+    /// no telemetry arrived.
+    telemetry: BTreeMap<SwitchId, f64>,
     decay: f64,
 }
 
@@ -84,6 +116,7 @@ impl Localizer {
             topology,
             blame: BTreeMap::new(),
             transit: BTreeMap::new(),
+            telemetry: BTreeMap::new(),
             decay: BLAME_DECAY,
         }
     }
@@ -105,13 +138,20 @@ impl Localizer {
     /// The switch's suspicion score: accumulated blame normalized by the
     /// known traffic transiting it — an estimated per-switch loss
     /// intensity, so a switch is only suspect when its loss is large
-    /// *relative to what it carries*.
+    /// *relative to what it carries* — boosted by up to 2× when this
+    /// epoch's queue telemetry shows the switch buffering heavily (no
+    /// telemetry = no boost, scores bit-identical to the telemetry-free
+    /// localizer).
     pub fn score(&self, switch: SwitchId) -> f64 {
         let b = self.blame(switch);
         if b <= 0.0 {
             return 0.0;
         }
-        b / (1.0 + self.transit.get(&switch).copied().unwrap_or(0.0))
+        let base = b / (1.0 + self.transit.get(&switch).copied().unwrap_or(0.0));
+        match self.telemetry.get(&switch) {
+            Some(&t) => base * (1.0 + t),
+            None => base,
+        }
     }
 
     /// Folds one epoch's evidence into the tables and returns the epoch's
@@ -120,33 +160,68 @@ impl Localizer {
     /// decoded this epoch (victim or healthy) with its estimated packet
     /// count — healthy flows exonerate the switches they crossed. A victim
     /// missing from `traffic` contributes its loss estimate as a (lower
-    /// bound) transit weight.
+    /// bound) transit weight. Victims are fully trusted and no queue
+    /// telemetry is consulted — the plain form of
+    /// [`observe_evidence`](Self::observe_evidence).
     pub fn observe_epoch<F: Routable>(
         &mut self,
         loss_report: &HashMap<F, u64>,
         traffic: &HashMap<F, u64>,
     ) -> Localization<F> {
+        self.observe_evidence(EpochEvidence {
+            loss_report,
+            confidence: &HashMap::new(),
+            traffic,
+            queue_depth: &BTreeMap::new(),
+        })
+    }
+
+    /// Folds one epoch's full evidence — blame weighted by decode
+    /// confidence, transit exoneration, and queue-depth telemetry — into
+    /// the tables and returns the epoch's localization. With an empty
+    /// confidence map and empty telemetry this is bit-identical to
+    /// [`observe_epoch`](Self::observe_epoch).
+    pub fn observe_evidence<F: Routable>(&mut self, ev: EpochEvidence<'_, F>) -> Localization<F> {
         for b in self.blame.values_mut() {
             *b *= self.decay;
         }
         for t in self.transit.values_mut() {
             *t *= self.decay;
         }
+        // Telemetry is a per-epoch snapshot, not an accumulator: replace it
+        // wholesale, normalized by the epoch's deepest switch so the boost
+        // is scale-free in `[0, 1]`.
+        self.telemetry.clear();
+        let deepest = ev
+            .queue_depth
+            .values()
+            .map(|d| d.mean_depth)
+            .fold(0.0f64, f64::max);
+        if deepest > 0.0 {
+            for (&s, d) in ev.queue_depth {
+                self.telemetry.insert(s, d.mean_depth / deepest);
+            }
+        }
         // Deterministic fold order: the tables are floating point, so
         // accumulation must not depend on HashMap iteration order.
-        let mut victims: Vec<(&F, u64)> = loss_report.iter().map(|(f, &l)| (f, l)).collect();
+        let mut victims: Vec<(&F, u64)> =
+            ev.loss_report.iter().map(|(f, &l)| (f, l)).collect();
         victims.sort_by_key(|(f, _)| f.key64());
         let mut routes: Vec<(&F, Vec<SwitchId>)> = Vec::with_capacity(victims.len());
         for (f, loss) in victims {
             let route = self.topology.route(f.src_host(), f.dst_host(), f.key64());
-            let share = loss as f64 / route.len() as f64;
-            let weight = traffic.get(f).copied().unwrap_or(loss) as f64 / route.len() as f64;
+            let conf = ev.confidence.get(f).copied().unwrap_or(1.0);
+            let share = conf * loss as f64 / route.len() as f64;
+            let weight =
+                ev.traffic.get(f).copied().unwrap_or(loss) as f64 / route.len() as f64;
             for &s in &route {
                 *self.blame.entry(s).or_insert(0.0) += share;
                 *self.transit.entry(s).or_insert(0.0) += weight;
             }
             routes.push((f, route));
         }
+        let loss_report = ev.loss_report;
+        let traffic = ev.traffic;
         let mut healthy: Vec<(&F, u64)> = traffic
             .iter()
             .filter(|(f, _)| !loss_report.contains_key(f))
@@ -329,6 +404,108 @@ mod tests {
             let lb = b.observe_epoch(&report, &HashMap::new());
             assert_eq!(la, lb);
         }
+    }
+
+    #[test]
+    fn empty_evidence_extras_are_bit_identical_to_observe_epoch() {
+        let mut report = HashMap::new();
+        let mut traffic = HashMap::new();
+        for i in 0..30u32 {
+            report.insert(flow(i % 8, (i + 5) % 8, 4100 + i as u16), 7 + i as u64);
+            traffic.insert(flow((i + 1) % 8, (i + 4) % 8, 8100 + i as u16), 200u64);
+        }
+        let mut plain = Localizer::new(FatTree::testbed());
+        let mut evidenced = Localizer::new(FatTree::testbed());
+        for _ in 0..4 {
+            let a = plain.observe_epoch(&report, &traffic);
+            let b = evidenced.observe_evidence(EpochEvidence {
+                loss_report: &report,
+                confidence: &HashMap::new(),
+                traffic: &traffic,
+                queue_depth: &BTreeMap::new(),
+            });
+            assert_eq!(a, b, "no confidence + no telemetry must change nothing");
+        }
+    }
+
+    #[test]
+    fn low_confidence_victims_swing_the_ranking_less() {
+        // Full-confidence victims at ToR 1 vs discounted victims at ToR 3,
+        // equal loss mass, pods kept separate so neither group's ingress
+        // ToR pollutes the other's egress blame: the trusted side must
+        // outrank the shaky side.
+        let mut report = HashMap::new();
+        let mut confidence = HashMap::new();
+        for i in 0..12u32 {
+            let trusted = flow(i % 2, 2 + (i % 2), 5000 + i as u16);
+            let shaky = flow(4 + (i % 2), 6 + (i % 2), 5100 + i as u16);
+            report.insert(trusted, 40u64);
+            report.insert(shaky, 40u64);
+            confidence.insert(shaky, PARTIAL_DECODE_CONFIDENCE);
+        }
+        let mut loc = Localizer::new(FatTree::testbed());
+        let mut l = loc.observe_evidence(EpochEvidence {
+            loss_report: &report,
+            confidence: &confidence,
+            traffic: &HashMap::new(),
+            queue_depth: &BTreeMap::new(),
+        });
+        for _ in 0..2 {
+            l = loc.observe_evidence(EpochEvidence {
+                loss_report: &report,
+                confidence: &confidence,
+                traffic: &HashMap::new(),
+                queue_depth: &BTreeMap::new(),
+            });
+        }
+        let tor1 = SwitchId { role: SwitchRole::Edge, index: 1 };
+        let tor3 = SwitchId { role: SwitchRole::Edge, index: 3 };
+        let rank = |s: SwitchId| l.ranking.iter().position(|&(r, _)| r == s).unwrap();
+        assert!(
+            rank(tor1) < rank(tor3),
+            "discounted blame must rank below trusted blame: {:?}",
+            l.ranking
+        );
+        assert!(loc.blame(tor1) > loc.blame(tor3) * 1.5);
+    }
+
+    #[test]
+    fn queue_telemetry_breaks_a_blame_tie() {
+        // Two victim groups with symmetric blame (ToR 0 and ToR 2 egress);
+        // telemetry showing only ToR 2 buffering must promote it.
+        let mut report = HashMap::new();
+        for i in 0..8u32 {
+            report.insert(flow(4 + (i % 2), i % 2, 6000 + i as u16), 30u64);
+            report.insert(flow(i % 2, 4 + (i % 2), 6100 + i as u16), 30u64);
+        }
+        let tor0 = SwitchId { role: SwitchRole::Edge, index: 0 };
+        let tor2 = SwitchId { role: SwitchRole::Edge, index: 2 };
+        let mut depth = BTreeMap::new();
+        depth.insert(
+            tor2,
+            chm_netsim::QueueDepthStat { max_depth: 900.0, mean_depth: 400.0 },
+        );
+        let mut loc = Localizer::new(FatTree::testbed());
+        let l = loc.observe_evidence(EpochEvidence {
+            loss_report: &report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &depth,
+        });
+        let rank = |l: &Localization<FiveTuple>, s: SwitchId| {
+            l.ranking.iter().position(|&(r, _)| r == s).unwrap()
+        };
+        assert!(
+            rank(&l, tor2) < rank(&l, tor0),
+            "the buffering ToR must outrank the shallow one: {:?}",
+            l.ranking
+        );
+        // Telemetry is a per-epoch snapshot: a telemetry-free epoch resets
+        // the boost.
+        let l2 = loc.observe_epoch(&report, &HashMap::new());
+        let s0 = l2.ranking.iter().find(|&&(r, _)| r == tor0).unwrap().1;
+        let s2 = l2.ranking.iter().find(|&&(r, _)| r == tor2).unwrap().1;
+        assert!((s0 - s2).abs() < 1e-12, "boost must not persist: {l2:?}");
     }
 
     #[test]

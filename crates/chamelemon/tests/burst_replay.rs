@@ -70,6 +70,7 @@ fn burst_replay_is_byte_identical_to_per_packet_replay() {
         assert_eq!(ra.dropped_at, rb.dropped_at);
         assert_eq!(ra.lost_at, rb.lost_at);
         assert_eq!(ra.hops_histogram, rb.hops_histogram);
+        assert_eq!(ra.queue_depth, rb.queue_depth);
         assert_eq!(ra.epoch, rb.epoch);
     }
 
@@ -114,6 +115,7 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
             }],
             ..chm_netsim::CongestionModel::calibrated()
         }),
+        queue: None,
         gilbert_elliott: Some(GilbertElliott::bursty()),
         duplication: Some(Duplication { prob: 0.08 }),
         reordering: Some(Reordering { prob: 0.3, window: 6 }),
@@ -133,6 +135,7 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
         assert_eq!(ra.dropped_at, rb.dropped_at);
         assert_eq!(ra.lost_at, rb.lost_at);
         assert_eq!(ra.hops_histogram, rb.hops_histogram);
+        assert_eq!(ra.queue_depth, rb.queue_depth);
         assert_eq!(ra.epoch, rb.epoch);
     }
 

@@ -100,23 +100,7 @@ impl CongestionModel {
     /// Capacity multiplier of `switch`'s out-links in `epoch` (product of
     /// every matching derate).
     pub fn derate_factor(&self, switch: SwitchId, epoch: u64, n_edge: usize) -> f64 {
-        let mut f = 1.0;
-        for d in &self.derates {
-            match *d {
-                Derate::Switch { role, index, factor } => {
-                    if switch.role == role && switch.index == index {
-                        f *= factor;
-                    }
-                }
-                Derate::RollingEdge { period, factor } => {
-                    let active = ((epoch / period.max(1)) as usize) % n_edge.max(1);
-                    if switch.role == SwitchRole::Edge && switch.index == active {
-                        f *= factor;
-                    }
-                }
-            }
-        }
-        f
+        derate_factor(&self.derates, switch, epoch, n_edge)
     }
 
     /// Realizes the model for one epoch over one trace: offered load per
@@ -175,7 +159,35 @@ impl CongestionModel {
     }
 }
 
-fn link_class_to(to: Hop) -> Option<SwitchRole> {
+/// Capacity/service multiplier of `switch`'s out-links in `epoch`: the
+/// product of every matching [`Derate`]. Shared by the static
+/// [`CongestionModel`] and the time-resolved
+/// [`QueueModel`](crate::queue::QueueModel), so a hot-spot knob means the
+/// same thing under both.
+pub fn derate_factor(derates: &[Derate], switch: SwitchId, epoch: u64, n_edge: usize) -> f64 {
+    let mut f = 1.0;
+    for d in derates {
+        match *d {
+            Derate::Switch { role, index, factor } => {
+                if switch.role == role && switch.index == index {
+                    f *= factor;
+                }
+            }
+            Derate::RollingEdge { period, factor } => {
+                let active = ((epoch / period.max(1)) as usize) % n_edge.max(1);
+                if switch.role == SwitchRole::Edge && switch.index == active {
+                    f *= factor;
+                }
+            }
+        }
+    }
+    f
+}
+
+/// The link class of a directed link's far end (host links form their own
+/// class). Class membership decides which mean offered load calibrates a
+/// link's capacity.
+pub(crate) fn link_class_to(to: Hop) -> Option<SwitchRole> {
     match to {
         Hop::Switch(s) => Some(s.role),
         Hop::Host(_) => None,

@@ -31,6 +31,7 @@
 //! bit-for-bit from its seed alone.
 
 use crate::congestion::CongestionModel;
+use crate::queue::QueueModel;
 use crate::sim::spread_drop;
 use chm_common::hash::mix64;
 use rand::rngs::StdRng;
@@ -111,8 +112,14 @@ pub struct ImpairmentSet {
     /// Seed folded into every realization (scenario identity).
     pub seed: u64,
     /// Per-link utilization-driven loss (congestion-coupled drops at the
-    /// saturated switch).
+    /// saturated switch), static over the epoch. Ignored when
+    /// [`queue`](Self::queue) is set — the queue model subsumes it.
     pub congestion: Option<CongestionModel>,
+    /// Time-resolved per-link queue dynamics: intra-epoch queue
+    /// build-up/drain producing per-(link, slot) drop probabilities and
+    /// queue-depth telemetry. Supersedes [`congestion`](Self::congestion)
+    /// when both are configured.
+    pub queue: Option<QueueModel>,
     /// Correlated bursty loss, applied on top of the epoch's loss plan.
     pub gilbert_elliott: Option<GilbertElliott>,
     /// Fabric packet duplication.
@@ -140,6 +147,45 @@ pub fn hash_hop(epoch_seed: u64, flow_key: u64, i: u64, route_len: usize) -> u8 
     ((mix64(epoch_seed ^ flow_key ^ i ^ HOP_SALT) as usize) % route_len.max(1)) as u8
 }
 
+/// The link-level (fabric's own) loss view one flow replays under — how
+/// the congestion layer, if any, expresses itself to the fate realization.
+#[derive(Debug, Clone, Copy)]
+pub enum LinkLoss<'a> {
+    /// No link-level loss: only the plan and the channel impairments drop.
+    None,
+    /// Static per-hop drop probabilities — the epoch-homogeneous
+    /// [`CongestionModel`] (one probability per route hop; see
+    /// [`CongestionRealization::hop_probs`](crate::congestion::CongestionRealization::hop_probs)).
+    Static(&'a [f64]),
+    /// Time-resolved per-(hop, slot) drop probabilities from the
+    /// [`QueueModel`]: `probs` is row-major
+    /// `[hop][slot]` (`route_len × n_slots` entries), and `slot_counts` is
+    /// this flow's per-slot packet layout (summing to the flow's packet
+    /// count) — packet `i`'s seeded slot is where the cumulative layout
+    /// places it, so a packet dies with the probability of the link *in its
+    /// slot*, which is what makes drops time-correlated.
+    Slotted {
+        /// Row-major `[hop][slot]` drop probabilities.
+        probs: &'a [f64],
+        /// This flow's per-slot packet counts.
+        slot_counts: &'a [u64],
+        /// Slots per epoch.
+        n_slots: usize,
+    },
+}
+
+impl LinkLoss<'_> {
+    /// True when no link on this flow's route can drop (the realization
+    /// consumes no RNG for link loss).
+    fn is_lossless(&self) -> bool {
+        match self {
+            LinkLoss::None => true,
+            LinkLoss::Static(ps) => ps.iter().all(|&p| p <= 0.0),
+            LinkLoss::Slotted { probs, .. } => probs.iter().all(|&p| p <= 0.0),
+        }
+    }
+}
+
 impl ImpairmentSet {
     /// The clean fabric: no impairments at all.
     pub fn none() -> Self {
@@ -149,6 +195,7 @@ impl ImpairmentSet {
     /// True when no impairment is configured (the clean fast paths apply).
     pub fn is_none(&self) -> bool {
         self.congestion.is_none()
+            && self.queue.is_none()
             && self.gilbert_elliott.is_none()
             && self.duplication.is_none()
             && self.reordering.is_none()
@@ -174,12 +221,11 @@ impl ImpairmentSet {
     /// pattern.
     ///
     /// `route_len` is the number of switches on the flow's ECMP route
-    /// (every drop is attributed to one of them); `hop_probs` holds the
-    /// congestion model's per-hop drop probabilities for this flow (empty
-    /// when congestion is off, else exactly `route_len` entries — see
-    /// [`CongestionRealization::hop_probs`](crate::congestion::CongestionRealization::hop_probs)).
-    /// The realization is a pure function of
-    /// `(self, flow_key, pkts, base_lost, epoch_seed, in_edge, route_len, hop_probs)`.
+    /// (every drop is attributed to one of them); `link_loss` is the
+    /// congestion layer's view of this flow's route — static per-hop
+    /// probabilities, time-resolved per-(hop, slot) probabilities, or
+    /// nothing. The realization is a pure function of
+    /// `(self, flow_key, pkts, base_lost, epoch_seed, in_edge, route_len, link_loss)`.
     #[allow(clippy::too_many_arguments)]
     pub fn realize_flow(
         &self,
@@ -190,12 +236,18 @@ impl ImpairmentSet {
         epoch_seed: u64,
         in_edge: usize,
         route_len: usize,
-        hop_probs: &[f64],
+        link_loss: LinkLoss<'_>,
     ) {
-        debug_assert!(
-            hop_probs.is_empty() || hop_probs.len() == route_len,
-            "hop_probs must cover the route"
-        );
+        if let LinkLoss::Static(hop_probs) = link_loss {
+            debug_assert!(
+                hop_probs.is_empty() || hop_probs.len() == route_len,
+                "hop_probs must cover the route"
+            );
+        }
+        if let LinkLoss::Slotted { probs, slot_counts, n_slots } = link_loss {
+            debug_assert_eq!(probs.len(), route_len * n_slots, "probs must cover route x slots");
+            debug_assert_eq!(slot_counts.iter().sum::<u64>(), pkts, "slots must cover the flow");
+        }
         out.delivered.clear();
         out.dup.clear();
         out.drop_hop.clear();
@@ -210,23 +262,49 @@ impl ImpairmentSet {
         let mut rng = StdRng::seed_from_u64(
             mix64(self.seed ^ epoch_seed).wrapping_add(mix64(flow_key)),
         );
-        // Congestion first: it is the fabric's own loss (the saturated
-        // link), everything below is channel/plan noise on top. A packet
-        // already claimed by the plan is not offered to later links. When
-        // no link on this route is saturated, no RNG state is consumed, so
+        // Link loss first: it is the fabric's own loss (the saturated
+        // link/queue), everything below is channel/plan noise on top. A
+        // packet already claimed by the plan is not offered to later links.
+        // When no link on this route can drop, no RNG state is consumed, so
         // congestion-free scenarios realize exactly as before.
-        if hop_probs.iter().any(|&p| p > 0.0) {
-            for i in 0..pkts as usize {
-                if !out.delivered[i] {
-                    continue;
-                }
-                for (h, &p) in hop_probs.iter().enumerate() {
-                    if p > 0.0 && rng.gen_bool(p) {
-                        out.delivered[i] = false;
-                        out.drop_hop[i] = h as u8;
-                        break;
+        if !link_loss.is_lossless() {
+            match link_loss {
+                LinkLoss::Static(hop_probs) => {
+                    for i in 0..pkts as usize {
+                        if !out.delivered[i] {
+                            continue;
+                        }
+                        for (h, &p) in hop_probs.iter().enumerate() {
+                            if p > 0.0 && rng.gen_bool(p) {
+                                out.delivered[i] = false;
+                                out.drop_hop[i] = h as u8;
+                                break;
+                            }
+                        }
                     }
                 }
+                LinkLoss::Slotted { probs, slot_counts, n_slots } => {
+                    // Packets occupy slots in index order (index order is
+                    // time order within an epoch), so each packet tests the
+                    // drop probability of every hop *in its slot*.
+                    let mut i = 0usize;
+                    for (t, &cnt) in slot_counts.iter().enumerate() {
+                        for _ in 0..cnt {
+                            if out.delivered[i] {
+                                for h in 0..route_len {
+                                    let p = probs[h * n_slots + t];
+                                    if p > 0.0 && rng.gen_bool(p) {
+                                        out.delivered[i] = false;
+                                        out.drop_hop[i] = h as u8;
+                                        break;
+                                    }
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+                LinkLoss::None => unreachable!("lossless is handled above"),
             }
         }
         if let Some(ge) = self.gilbert_elliott {
@@ -336,7 +414,7 @@ mod tests {
 
     fn realize(imp: &ImpairmentSet, key: u64, pkts: u64, lost: u64) -> FabricFates {
         let mut f = FabricFates::default();
-        imp.realize_flow(&mut f, key, pkts, lost, 0x1234, 0, 5, &[]);
+        imp.realize_flow(&mut f, key, pkts, lost, 0x1234, 0, 5, LinkLoss::None);
         f
     }
 
@@ -358,6 +436,7 @@ mod tests {
         let imp = ImpairmentSet {
             seed: 9,
             congestion: None,
+            queue: None,
             gilbert_elliott: Some(GilbertElliott::bursty()),
             duplication: Some(Duplication { prob: 0.1 }),
             reordering: Some(Reordering { prob: 0.2, window: 4 }),
@@ -445,7 +524,7 @@ mod tests {
             "edges must not share one skew"
         );
         let mut f = FabricFates::default();
-        imp.realize_flow(&mut f, 77, 1_000, 0, 1, 2, 5, &[]);
+        imp.realize_flow(&mut f, 77, 1_000, 0, 1, 2, 5, LinkLoss::None);
         assert!(f.skew_split <= 1_000);
         let expected = imp.edge_skew_frac(2) * 1_000.0;
         assert!(
@@ -460,7 +539,16 @@ mod tests {
         let imp = ImpairmentSet { seed: 12, ..ImpairmentSet::none() };
         let mut f = FabricFates::default();
         // Only hop 2 is saturated: every congestion drop must blame it.
-        imp.realize_flow(&mut f, 55, 2_000, 0, 0x99, 0, 5, &[0.0, 0.0, 0.4, 0.0, 0.0]);
+        imp.realize_flow(
+            &mut f,
+            55,
+            2_000,
+            0,
+            0x99,
+            0,
+            5,
+            LinkLoss::Static(&[0.0, 0.0, 0.4, 0.0, 0.0]),
+        );
         let lost = 2_000 - f.n_delivered();
         assert!(lost > 500, "a 0.4 link must drop plenty, got {lost}");
         for i in 0..2_000usize {
@@ -482,8 +570,8 @@ mod tests {
         };
         let mut a = FabricFates::default();
         let mut b = FabricFates::default();
-        imp.realize_flow(&mut a, 7, 600, 11, 0x42, 1, 5, &[]);
-        imp.realize_flow(&mut b, 7, 600, 11, 0x42, 1, 5, &[0.0; 5]);
+        imp.realize_flow(&mut a, 7, 600, 11, 0x42, 1, 5, LinkLoss::None);
+        imp.realize_flow(&mut b, 7, 600, 11, 0x42, 1, 5, LinkLoss::Static(&[0.0; 5]));
         assert_eq!(a, b);
     }
 

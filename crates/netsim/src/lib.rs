@@ -20,16 +20,23 @@
 //!   every flow's ECMP route, utilization-driven drop probabilities,
 //!   structural derates (incast ToRs, browned-out cores, rolling
 //!   degradations);
+//! * [`queue`] — the time-resolved layer under [`congestion`]: each epoch
+//!   splits into discrete slots, per-flow arrival profiles shape the
+//!   per-(link, slot) offered load, and a fluid queue per link turns it
+//!   into time-correlated drop probabilities plus per-switch queue-depth
+//!   telemetry (microbursts, incast ramps, slow drains);
 //! * [`impair`] — adversarial fabric impairments (per-link congestion
-//!   loss, Gilbert–Elliott bursty loss, duplication, bounded reordering,
-//!   per-edge clock skew), realized per flow above the hook boundary so the
-//!   per-packet and burst replays stay byte-identical under any scenario.
+//!   loss, time-resolved queue loss, Gilbert–Elliott bursty loss,
+//!   duplication, bounded reordering, per-edge clock skew), realized per
+//!   flow above the hook boundary so the per-packet and burst replays stay
+//!   byte-identical under any scenario.
 
 pub mod clock;
 pub mod congestion;
 pub mod header;
 pub mod impair;
 pub mod collect;
+pub mod queue;
 pub mod sim;
 pub mod topology;
 
@@ -37,8 +44,10 @@ pub use clock::{ClockModel, EpochClock};
 pub use congestion::{CongestionModel, CongestionRealization, Derate, Hop, LinkId};
 pub use header::{decode_tos, encode_tos, CarriedState, IntShim};
 pub use impair::{
-    ClockSkew, Duplication, FabricFates, GilbertElliott, ImpairmentSet, Reordering,
+    ClockSkew, Duplication, FabricFates, GilbertElliott, ImpairmentSet, LinkLoss,
+    Reordering,
 };
 pub use collect::CollectionModel;
+pub use queue::{QueueDepthStat, QueueLinkStats, QueueModel, QueueRealization, RedDrop};
 pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};
 pub use topology::{FatTree, SwitchId, SwitchRole};

@@ -4,7 +4,8 @@
 //! testbed run (DPDK senders, proactive ECN drops, ChameleMon on all four
 //! ToR switches).
 
-use crate::impair::{hash_hop, FabricFates, ImpairmentSet};
+use crate::impair::{hash_hop, FabricFates, ImpairmentSet, LinkLoss};
+use crate::queue::QueueDepthStat;
 use crate::topology::{FatTree, SwitchId};
 use chm_common::{FiveTuple, FlowId};
 use chm_workloads::trace::ip_host;
@@ -93,6 +94,12 @@ pub struct EpochReport<F> {
     pub lost_at: HashMap<F, BTreeMap<SwitchId, u64>>,
     /// Distribution of route lengths (switches on path → packets).
     pub hops_histogram: BTreeMap<usize, u64>,
+    /// Per-switch queue-depth telemetry from the time-resolved queue model
+    /// (empty when the epoch ran without one) — what the switches would
+    /// export via INT/queue-occupancy counters. Computed identically by
+    /// both scenario replay paths from the shared realization; the clean
+    /// paths have no queues and leave it empty.
+    pub queue_depth: BTreeMap<SwitchId, QueueDepthStat>,
     /// Epoch index this report covers.
     pub epoch: u64,
 }
@@ -318,6 +325,7 @@ impl Simulator {
             dropped_at,
             lost_at,
             hops_histogram,
+            queue_depth: BTreeMap::new(),
             epoch: self.epoch,
         };
         self.epoch += 1;
@@ -383,6 +391,7 @@ impl Simulator {
             dropped_at,
             lost_at,
             hops_histogram,
+            queue_depth: BTreeMap::new(),
             epoch: self.epoch,
         };
         self.epoch += 1;
@@ -412,10 +421,21 @@ impl Simulator {
         let prev_bit = ts_bit ^ 1;
         let epoch_seed = self.epoch_seed();
         let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
-        let cong = imp
-            .congestion
+        // The queue model supersedes the static congestion model: both are
+        // link-level loss generators, and exactly one realization feeds the
+        // fates so the two layers can never double-drop.
+        let queue = imp
+            .queue
             .as_ref()
-            .map(|m| m.realize(&self.topology, trace, self.epoch));
+            .map(|q| q.realize(&self.topology, trace, self.epoch, imp.seed));
+        let cong = match &queue {
+            Some(_) => None,
+            None => imp
+                .congestion
+                .as_ref()
+                .map(|m| m.realize(&self.topology, trace, self.epoch)),
+        };
+        let queue_depth = queue.as_ref().map(|q| q.depths().clone()).unwrap_or_default();
         let mut delivered = HashMap::with_capacity(trace.num_flows());
         let mut lost = HashMap::new();
         let mut dropped_at = BTreeMap::new();
@@ -424,25 +444,41 @@ impl Simulator {
         let mut fates = FabricFates::default();
         let mut route = Vec::with_capacity(5);
         let mut hop_probs = Vec::with_capacity(5);
+        let mut slot_counts = Vec::new();
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
             let out_edge = self.topology.edge_of_host(dst);
             // Route materialization is lazy, as in the clean paths: only
-            // congestion (per-hop probabilities) and attribution (a flow
-            // that lost packets) need the actual switches — the histogram
-            // and the fates realization need just the length.
+            // link-level loss (per-hop probabilities) and attribution (a
+            // flow that lost packets) need the actual switches — the
+            // histogram and the fates realization need just the length.
             hop_probs.clear();
-            let route_len = match &cong {
-                Some(c) => {
+            let route_len = match (&queue, &cong) {
+                (Some(q), _) => {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                    q.hop_slot_probs(&route, dst, &mut hop_probs);
+                    q.flow_slot_counts(f.key64(), pkts, &mut slot_counts);
+                    route.len()
+                }
+                (None, Some(c)) => {
                     self.topology.route_into(src, dst, f.key64(), &mut route);
                     c.hop_probs(&route, dst, &mut hop_probs);
                     route.len()
                 }
-                None => self.topology.hops(src, dst, f.key64()),
+                (None, None) => self.topology.hops(src, dst, f.key64()),
             };
             *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
+            let link_loss = match &queue {
+                Some(q) => LinkLoss::Slotted {
+                    probs: &hop_probs,
+                    slot_counts: &slot_counts,
+                    n_slots: q.n_slots(),
+                },
+                None if cong.is_some() => LinkLoss::Static(&hop_probs),
+                None => LinkLoss::None,
+            };
             imp.realize_flow(
                 &mut fates,
                 f.key64(),
@@ -451,7 +487,7 @@ impl Simulator {
                 epoch_seed,
                 in_edge,
                 route_len,
-                &hop_probs,
+                link_loss,
             );
             for i in 0..pkts {
                 let ts = if i < fates.skew_split { prev_bit } else { ts_bit };
@@ -467,7 +503,7 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
-                if cong.is_none() {
+                if queue.is_none() && cong.is_none() {
                     self.topology.route_into(src, dst, f.key64(), &mut route);
                 }
                 attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
@@ -479,6 +515,7 @@ impl Simulator {
             dropped_at,
             lost_at,
             hops_histogram,
+            queue_depth,
             epoch: self.epoch,
         };
         self.epoch += 1;
@@ -504,10 +541,20 @@ impl Simulator {
         let prev_bit = ts_bit ^ 1;
         let epoch_seed = self.epoch_seed();
         let (_, base_lost) = plan.apply_to_trace(trace, epoch_seed);
-        let cong = imp
-            .congestion
+        // Identical link-loss layering to the per-packet scenario path:
+        // queue supersedes static congestion, one realization feeds both.
+        let queue = imp
+            .queue
             .as_ref()
-            .map(|m| m.realize(&self.topology, trace, self.epoch));
+            .map(|q| q.realize(&self.topology, trace, self.epoch, imp.seed));
+        let cong = match &queue {
+            Some(_) => None,
+            None => imp
+                .congestion
+                .as_ref()
+                .map(|m| m.realize(&self.topology, trace, self.epoch)),
+        };
+        let queue_depth = queue.as_ref().map(|q| q.depths().clone()).unwrap_or_default();
         let mut delivered = HashMap::with_capacity(trace.num_flows());
         let mut lost = HashMap::new();
         let mut dropped_at = BTreeMap::new();
@@ -516,6 +563,7 @@ impl Simulator {
         let mut fates = FabricFates::default();
         let mut route = Vec::with_capacity(5);
         let mut hop_probs = Vec::with_capacity(5);
+        let mut slot_counts = Vec::new();
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
@@ -523,16 +571,31 @@ impl Simulator {
             // Lazy route materialization — identical policy to the
             // per-packet scenario path, so attribution stays byte-equal.
             hop_probs.clear();
-            let route_len = match &cong {
-                Some(c) => {
+            let route_len = match (&queue, &cong) {
+                (Some(q), _) => {
+                    self.topology.route_into(src, dst, f.key64(), &mut route);
+                    q.hop_slot_probs(&route, dst, &mut hop_probs);
+                    q.flow_slot_counts(f.key64(), pkts, &mut slot_counts);
+                    route.len()
+                }
+                (None, Some(c)) => {
                     self.topology.route_into(src, dst, f.key64(), &mut route);
                     c.hop_probs(&route, dst, &mut hop_probs);
                     route.len()
                 }
-                None => self.topology.hops(src, dst, f.key64()),
+                (None, None) => self.topology.hops(src, dst, f.key64()),
             };
             *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
+            let link_loss = match &queue {
+                Some(q) => LinkLoss::Slotted {
+                    probs: &hop_probs,
+                    slot_counts: &slot_counts,
+                    n_slots: q.n_slots(),
+                },
+                None if cong.is_some() => LinkLoss::Static(&hop_probs),
+                None => LinkLoss::None,
+            };
             imp.realize_flow(
                 &mut fates,
                 f.key64(),
@@ -541,7 +604,7 @@ impl Simulator {
                 epoch_seed,
                 in_edge,
                 route_len,
-                &hop_probs,
+                link_loss,
             );
             let k = fates.skew_split;
             let mut pos = 0u64;
@@ -564,7 +627,7 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
-                if cong.is_none() {
+                if queue.is_none() && cong.is_none() {
                     self.topology.route_into(src, dst, f.key64(), &mut route);
                 }
                 attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
@@ -576,6 +639,7 @@ impl Simulator {
             dropped_at,
             lost_at,
             hops_histogram,
+            queue_depth,
             epoch: self.epoch,
         };
         self.epoch += 1;

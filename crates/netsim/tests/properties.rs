@@ -125,6 +125,193 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Time-resolved queue model: exact fluid conservation, and flat-profile
+// equivalence with the static congestion model (the queue layer is a strict
+// superset — with uniform arrivals and no queue coupling it *is* the static
+// model).
+// ---------------------------------------------------------------------------
+
+mod queue {
+    use super::*;
+    use chm_netsim::{CongestionModel, Derate, QueueModel};
+    use chm_workloads::{testbed_trace, ArrivalProfile, WorkloadKind};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Fluid conservation is exact on every loaded link, for every
+        /// profile and hot-spot shape:
+        /// `arrivals = served + dropped + residual`.
+        #[test]
+        fn queue_conserves_arrivals(
+            seed in any::<u64>(),
+            epoch in 0u64..6,
+            profile_idx in 0usize..4,
+            layer in 0usize..3,
+            index in 0usize..2,
+            factor in 0.1f64..0.7,
+            red in any::<bool>(),
+        ) {
+            let role = [SwitchRole::Edge, SwitchRole::Aggregation, SwitchRole::Core][layer];
+            let mut m = QueueModel::calibrated(8);
+            m.profile = [
+                ArrivalProfile::Flat,
+                ArrivalProfile::Microburst { frac: 0.5, width: 2 },
+                ArrivalProfile::IncastRamp,
+                ArrivalProfile::SlowDrain,
+            ][profile_idx];
+            m.derates.push(Derate::Switch { role, index, factor });
+            if red {
+                m.red = Some(chm_netsim::RedDrop {
+                    min_depth: 0.2,
+                    max_depth: 2.0,
+                    max_prob: 0.3,
+                });
+            }
+            let topo = FatTree::testbed();
+            let trace = testbed_trace(WorkloadKind::Dctcp, 400, 8, seed ^ 0xAB);
+            let r = m.realize(&topo, &trace, epoch, seed);
+            prop_assert!(!r.link_stats().is_empty(), "a derated switch must drop");
+            for (link, st) in r.link_stats() {
+                let rhs = st.served + st.dropped + st.residual;
+                prop_assert!(
+                    (st.arrivals as f64 - rhs).abs() <= 1e-6 * (st.arrivals as f64).max(1.0),
+                    "{link:?}: {} != {} + {} + {}",
+                    st.arrivals, st.served, st.dropped, st.residual
+                );
+                prop_assert!(st.dropped >= 0.0 && st.served >= 0.0 && st.residual >= 0.0);
+            }
+        }
+
+        /// Steady-load equivalence: with a Flat profile and no queue
+        /// coupling, the queue model reproduces the static congestion
+        /// model's per-link epoch loss — same dropping links, probabilities
+        /// within integer-slot rounding. With coupling on, the same links
+        /// drop at least as much (queues only ever add pressure).
+        #[test]
+        fn flat_profile_reproduces_the_static_model(
+            seed in any::<u64>(),
+            index in 0usize..2,
+            factor in 0.25f64..0.55,
+        ) {
+            let derate = Derate::Switch { role: SwitchRole::Core, index, factor };
+            let topo = FatTree::testbed();
+            let trace = testbed_trace(WorkloadKind::Dctcp, 500, 8, seed ^ 0xCD);
+
+            let stat = CongestionModel {
+                derates: vec![derate],
+                ..CongestionModel::calibrated()
+            };
+            let sr = stat.realize(&topo, &trace, 0);
+
+            let mut memoryless = QueueModel::calibrated(8);
+            memoryless.queue_coupling = 0.0;
+            memoryless.derates.push(derate);
+            let qr = memoryless.realize(&topo, &trace, 0, seed);
+
+            let static_hot: std::collections::BTreeMap<_, f64> =
+                sr.hot_links().into_iter().collect();
+            let queue_hot: std::collections::BTreeMap<_, f64> =
+                qr.hot_links().into_iter().collect();
+            // Every static hot link drops in the queue model too, at a
+            // matching epoch-aggregate probability.
+            for (link, &p_static) in &static_hot {
+                let Some(&p_queue) = queue_hot.get(link) else {
+                    return Err(TestCaseError::fail(format!(
+                        "{link:?}: drops statically (p={p_static}) but not in slots"
+                    )));
+                };
+                prop_assert!(
+                    (p_queue - p_static).abs() < 0.02,
+                    "{link:?}: queue {p_queue} vs static {p_static}"
+                );
+            }
+            // Links the static model calls clean may pick up slot-rounding
+            // dust (integer packet layout makes some slots a whisker hotter
+            // than the flat mean) — but only dust.
+            for (link, &p_queue) in &queue_hot {
+                if !static_hot.contains_key(link) {
+                    prop_assert!(
+                        p_queue < 0.02,
+                        "{link:?}: statically clean but queue-drops {p_queue}"
+                    );
+                }
+            }
+
+            // Full coupling: same support, never less loss.
+            let mut coupled = QueueModel::calibrated(8);
+            coupled.derates.push(derate);
+            let cr = coupled.realize(&topo, &trace, 0, seed);
+            for (link, &p_static) in &static_hot {
+                let st = cr.link_stats()[link];
+                let p_coupled = st.dropped / st.arrivals as f64;
+                prop_assert!(
+                    p_coupled >= p_static - 1e-9,
+                    "{link:?}: coupling lowered loss ({p_coupled} < {p_static})"
+                );
+            }
+        }
+
+        /// Sub-knee links never drop and never buffer, under any profile —
+        /// temporal shaping cannot conjure loss where aggregate load is
+        /// within a single slot's service everywhere.
+        #[test]
+        fn flat_load_below_knee_is_clean(seed in any::<u64>(), epoch in 0u64..4) {
+            let m = QueueModel::calibrated(8);
+            let topo = FatTree::testbed();
+            let trace = testbed_trace(WorkloadKind::Dctcp, 600, 8, seed ^ 0xEF);
+            let r = m.realize(&topo, &trace, epoch, seed);
+            prop_assert!(r.is_lossless(), "hot links: {:?}", r.hot_links());
+            prop_assert!(r.depths().is_empty());
+        }
+
+        /// The queue replay's ground truth conserves and attributes like
+        /// the static congestion replay: every drop lands on an on-route
+        /// switch, per-victim sums match, and the depth telemetry only
+        /// names switches that could have dropped.
+        #[test]
+        fn queue_replay_attribution_conserves(
+            seed in any::<u64>(),
+            profile_idx in 0usize..3,
+        ) {
+            let mut m = QueueModel::calibrated(8);
+            m.profile = [
+                ArrivalProfile::Microburst { frac: 0.5, width: 2 },
+                ArrivalProfile::IncastRamp,
+                ArrivalProfile::Flat,
+            ][profile_idx];
+            m.derates.push(Derate::Switch {
+                role: SwitchRole::Edge,
+                index: 1,
+                factor: 0.4,
+            });
+            let imp = chm_netsim::ImpairmentSet {
+                seed,
+                queue: Some(m),
+                ..chm_netsim::ImpairmentSet::none()
+            };
+            let topo = FatTree::testbed();
+            let trace = testbed_trace(WorkloadKind::Vl2, 300, 8, seed ^ 0x33);
+            let plan = chm_workloads::LossPlan::build(
+                &trace,
+                chm_workloads::VictimSelection::RandomRatio(0.05),
+                0.05,
+                seed,
+            );
+            let mut sim = chm_netsim::Simulator::new(
+                topo.clone(),
+                chm_netsim::SimConfig { epoch_ms: 50.0, seed },
+            );
+            for _ in 0..2 {
+                let r = sim.run_epoch_scenario(&trace, &plan, &imp, &mut fabric::Null);
+                fabric::check_attribution(&r, &topo);
+                prop_assert!(!r.queue_depth.is_empty(), "derated ToR must buffer");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fabric-attributed replay: congestion-coupled drops conserve packets,
 // attribute only to on-route switches, and the per-packet and burst
 // scenario replays stay byte-identical under congestion.
@@ -140,7 +327,7 @@ mod fabric {
     use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
 
     /// Hooks that ignore everything (ground truth is what's under test).
-    struct Null;
+    pub struct Null;
     impl EdgeHooks<FiveTuple> for Null {
         fn on_ingress(&mut self, _e: usize, _f: &FiveTuple, _ts: u8) -> u8 {
             0
@@ -159,7 +346,7 @@ mod fabric {
         }
     }
 
-    fn check_attribution(report: &EpochReport<FiveTuple>, topo: &FatTree) {
+    pub fn check_attribution(report: &EpochReport<FiveTuple>, topo: &FatTree) {
         // Conservation: every lost packet is attributed exactly once,
         // fabric-wide and per victim.
         assert_eq!(report.total_attributed(), report.lost.values().sum::<u64>());

@@ -51,10 +51,10 @@ pub use runner::{
 };
 
 use chm_netsim::impair::{ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering};
-use chm_netsim::{CongestionModel, Derate, SwitchRole};
+use chm_netsim::{CongestionModel, Derate, QueueModel, RedDrop, SwitchRole};
 use chm_workloads::{
-    testbed_trace, FlowChurn, FloodModel, IncastModel, LossPlan, Trace, VictimDrift,
-    VictimSelection, WorkloadKind,
+    testbed_trace, ArrivalProfile, FlowChurn, FloodModel, IncastModel, LossPlan, Trace,
+    VictimDrift, VictimSelection, WorkloadKind,
 };
 use chm_common::hash::mix64;
 use chm_common::FiveTuple;
@@ -67,6 +67,9 @@ const TRACE_SALT: u64 = 0x7261_6365; // "race"
 const PLAN_SALT: u64 = 0x706c_616e; // "plan"
 /// Salt separating the report-channel RNG stream.
 const REPORT_SALT: u64 = 0x7265_7074; // "rept"
+
+/// Default time slots per epoch for the queue-dynamics knobs.
+pub const DEFAULT_SLOTS: usize = 8;
 
 /// A named, seeded, fully deterministic adversarial scenario: a workload, a
 /// loss plan, a set of fabric impairments, per-epoch dynamics, and a
@@ -301,6 +304,86 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables the time-resolved queue model with its calibrated defaults
+    /// over `slots` slots per epoch (flat arrivals, tail drop, full queue
+    /// coupling; see [`QueueModel::calibrated`]). Supersedes the static
+    /// congestion model when both end up configured (e.g. via
+    /// [`incast`](Self::incast)) — the queue layer subsumes it. Follow
+    /// with [`microburst`](Self::microburst) /
+    /// [`incast_ramp`](Self::incast_ramp) /
+    /// [`slow_drain_tor`](Self::slow_drain_tor) to shape the dynamics.
+    pub fn queue_model(mut self, slots: usize) -> Self {
+        assert!(slots >= 1, "need at least one slot");
+        match &mut self.inner.impairments.queue {
+            // A shaping knob may already have installed the model with the
+            // default slot count — honor the explicit slots either way.
+            Some(q) => q.slots = slots,
+            None => self.inner.impairments.queue = Some(QueueModel::calibrated(slots)),
+        }
+        self
+    }
+
+    /// Replaces the queue model wholesale (expert knob).
+    pub fn queue_model_custom(mut self, model: QueueModel) -> Self {
+        self.inner.impairments.queue = Some(model);
+        self
+    }
+
+    /// Shapes arrivals into a synchronized microburst: `frac` of every
+    /// flow's packets concentrate into a seeded `width`-slot window.
+    /// Enables the calibrated queue model over [`DEFAULT_SLOTS`] slots if
+    /// none is configured yet.
+    pub fn microburst(mut self, frac: f64, width: usize) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "microburst fraction out of range");
+        assert!(width >= 1, "microburst width must be >= 1");
+        self.inner
+            .impairments
+            .queue
+            .get_or_insert_with(|| QueueModel::calibrated(DEFAULT_SLOTS))
+            .profile = ArrivalProfile::Microburst { frac, width };
+        self
+    }
+
+    /// Shapes arrivals into a linear within-epoch ramp (the incast
+    /// build-up: rate ≈ 2× the mean by the final slot). Enables the
+    /// calibrated queue model if needed.
+    pub fn incast_ramp(mut self) -> Self {
+        self.inner
+            .impairments
+            .queue
+            .get_or_insert_with(|| QueueModel::calibrated(DEFAULT_SLOTS))
+            .profile = ArrivalProfile::IncastRamp;
+        self
+    }
+
+    /// Derates the *service rate* of every out-link of edge switch `index`
+    /// by `factor`: the ToR's queues drain slowly, stay deep across the
+    /// epoch, and drop in a time-correlated way. Enables the calibrated
+    /// queue model if needed.
+    pub fn slow_drain_tor(mut self, index: usize, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "derate factor out of range");
+        self.inner
+            .impairments
+            .queue
+            .get_or_insert_with(|| QueueModel::calibrated(DEFAULT_SLOTS))
+            .derates
+            .push(Derate::Switch { role: SwitchRole::Edge, index, factor });
+        self
+    }
+
+    /// Adds RED-style early drop to the queue model (depths in slot-service
+    /// units). Enables the calibrated queue model if needed.
+    pub fn queue_red(mut self, min_depth: f64, max_depth: f64, max_prob: f64) -> Self {
+        assert!(max_depth > min_depth, "RED depths must be ordered");
+        assert!((0.0..=1.0).contains(&max_prob), "RED max prob out of range");
+        self.inner
+            .impairments
+            .queue
+            .get_or_insert_with(|| QueueModel::calibrated(DEFAULT_SLOTS))
+            .red = Some(RedDrop { min_depth, max_depth, max_prob });
+        self
+    }
+
     /// Derates every out-link of one switch by `factor` (a brownout),
     /// enabling the calibrated congestion model if it is not already on.
     pub fn derate_switch(mut self, role: SwitchRole, index: usize, factor: f64) -> Self {
@@ -425,6 +508,38 @@ mod tests {
         let back = v.with_seed(9);
         assert_eq!(back.impairments, s.impairments);
         assert_eq!(back.incast, s.incast);
+    }
+
+    #[test]
+    fn queue_knobs_compose() {
+        let s = Scenario::builder("q")
+            .seed(4)
+            .incast(0.2, 0) // enables the static congestion model too
+            .queue_model(8)
+            .microburst(0.4, 2)
+            .slow_drain_tor(1, 0.5)
+            .queue_red(0.5, 2.0, 0.2)
+            .build();
+        let q = s.impairments.queue.as_ref().expect("queue model configured");
+        assert_eq!(q.slots, 8);
+        assert!(matches!(
+            q.profile,
+            chm_workloads::ArrivalProfile::Microburst { .. }
+        ));
+        assert_eq!(q.derates.len(), 1);
+        assert!(q.red.is_some());
+        // The incast knob still configures static congestion; the replay
+        // paths give the queue model precedence.
+        assert!(s.impairments.congestion.is_some());
+        assert!(!s.impairments.is_none());
+        // Knob order must not matter: an explicit slot count is honored
+        // even when a shaping knob installed the model first.
+        let late = Scenario::builder("q2").microburst(0.4, 2).queue_model(16).build();
+        assert_eq!(late.impairments.queue.as_ref().unwrap().slots, 16);
+        assert!(matches!(
+            late.impairments.queue.as_ref().unwrap().profile,
+            chm_workloads::ArrivalProfile::Microburst { .. }
+        ));
     }
 
     #[test]

@@ -151,6 +151,56 @@ pub fn standard_matrix(quick: bool) -> Vec<Scenario> {
             .loss(VictimSelection::RandomN(0), 0.0)
             .rolling_tor(2, 0.35)
             .build(),
+        // --- queue-dynamics scenarios: the time-resolved layer. Loss comes
+        // from intra-epoch queue build-up/drain, so drops are correlated in
+        // *time* (specific slots), not just in space. ------------------
+        //
+        // A synchronized microburst: 45% of every flow's packets land in a
+        // seeded 2-slot window, overwhelming queues fabric-wide for a
+        // fraction of the epoch that flat-rate accounting calls healthy.
+        Scenario::builder("microburst")
+            .seed(0xA11D)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Dctcp)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .microburst(0.45, 2)
+            .build(),
+        // A slow-draining ToR: edge 1's service runs at 40%, its queues
+        // stay deep all epoch, and every flow through it bleeds — the
+        // queue-depth telemetry names the culprit directly.
+        Scenario::builder("slow-drain-tor")
+            .seed(0xA11E)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Vl2)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .slow_drain_tor(1, 0.4)
+            .build(),
+        // Incast with a within-epoch ramp: fan-in concentrates load on host
+        // 0's ToR while arrivals build toward the epoch's end — the
+        // hotspot's drops cluster in the late slots.
+        Scenario::builder("incast-ramp")
+            .seed(0xA11F)
+            .flows(flows)
+            .epochs(epochs)
+            .workload(WorkloadKind::Cache)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .incast(0.2, 0)
+            .incast_ramp()
+            .build(),
+        // The incast hotspot on a k=4 fat-tree (16 hosts, 8 edge + 8 agg +
+        // 4 core = 20 switches): localization measured beyond the 10-switch
+        // testbed.
+        Scenario::builder("incast-hotspot-k4")
+            .seed(0xA120)
+            .flows(flows)
+            .epochs(epochs)
+            .hosts(16)
+            .workload(WorkloadKind::Cache)
+            .loss(VictimSelection::RandomN(0), 0.0)
+            .incast(0.1, 0)
+            .build(),
     ]
 }
 
@@ -174,9 +224,49 @@ mod tests {
             "incast-hotspot",
             "core-brownout",
             "rolling-tor",
+            "microburst",
+            "slow-drain-tor",
+            "incast-ramp",
+            "incast-hotspot-k4",
         ] {
             assert!(names.contains(required), "missing {required}");
         }
+    }
+
+    #[test]
+    fn queue_scenarios_are_time_resolved_and_fabric_coupled() {
+        let m = standard_matrix(true);
+        let queued: Vec<&Scenario> =
+            m.iter().filter(|s| s.impairments.queue.is_some()).collect();
+        assert!(queued.len() >= 3, "need >= 3 queue-dynamics scenarios");
+        for s in &queued {
+            // Their loss must come from the queues, not a flat plan.
+            assert_eq!(s.loss_rate, 0.0, "{}: plan loss should be off", s.name);
+        }
+        use chm_workloads::ArrivalProfile;
+        assert!(
+            queued.iter().any(|s| matches!(
+                s.impairments.queue.as_ref().unwrap().profile,
+                ArrivalProfile::Microburst { .. }
+            )),
+            "a microburst scenario must be present"
+        );
+        assert!(
+            queued.iter().any(|s| matches!(
+                s.impairments.queue.as_ref().unwrap().profile,
+                ArrivalProfile::IncastRamp
+            )),
+            "an incast-ramp scenario must be present"
+        );
+        assert!(
+            queued
+                .iter()
+                .any(|s| !s.impairments.queue.as_ref().unwrap().derates.is_empty()),
+            "a service-derate (slow-drain) scenario must be present"
+        );
+        // The k=4 tier runs a larger fabric than the 10-switch testbed.
+        let k4 = m.iter().find(|s| s.name == "incast-hotspot-k4").unwrap();
+        assert_eq!(k4.n_hosts, 16);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use chamelemon::dataplane::Hierarchy;
 use chamelemon::{
     CollectedGroup, Controller, EdgeDataPlane, Localization, Localizer, RuntimeConfig,
 };
-use chm_baselines::{LossDetector, LossRadar};
+use chm_baselines::{FlowRadar, LossDetector, LossRadar};
 use chm_common::metrics::{average_relative_error, detection_score};
 use chm_common::FiveTuple;
 use chm_netsim::sim::{BurstHooks, EdgeHooks, EpochReport};
@@ -78,6 +78,19 @@ pub struct EpochMetrics {
     pub lr_top1: f64,
     /// LossRadar baseline: localization top-3 hit rate.
     pub lr_top3: f64,
+    /// FlowRadar baseline: victim-detection F1 over the same epoch (0 when
+    /// either direction's counting table fails to decode).
+    pub fr_f1: f64,
+    /// FlowRadar baseline: did both counting tables decode? (Its memory
+    /// scales with *flows*, so flow-heavy epochs are what break it.)
+    pub fr_decode_ok: bool,
+    /// FlowRadar baseline: localization top-1 hit rate.
+    pub fr_top1: f64,
+    /// FlowRadar baseline: localization top-3 hit rate.
+    pub fr_top3: f64,
+    /// Deepest per-switch queue this epoch (packets; 0 when the scenario
+    /// runs without the queue model).
+    pub qdepth_max: f64,
 }
 
 /// Everything observable from one stepped epoch — enough for the
@@ -129,6 +142,16 @@ pub struct ScenarioResult {
     pub lr_mean_top1: f64,
     /// LossRadar baseline: mean localization top-3 hit rate.
     pub lr_mean_top3: f64,
+    /// FlowRadar baseline: mean victim-detection F1.
+    pub fr_mean_f1: f64,
+    /// FlowRadar baseline: fraction of epochs whose tables decoded.
+    pub fr_decode_success: f64,
+    /// FlowRadar baseline: mean localization top-1 hit rate.
+    pub fr_mean_top1: f64,
+    /// FlowRadar baseline: mean localization top-3 hit rate.
+    pub fr_mean_top3: f64,
+    /// Mean over epochs of the deepest per-switch queue (packets).
+    pub mean_qdepth_max: f64,
 }
 
 /// The live stack: per-edge data planes, the central controller, and the
@@ -143,6 +166,8 @@ pub struct ScenarioStack {
     /// The LossRadar comparison track's localizer (its decoded victims run
     /// through the same blame accumulation as ChameleMon's).
     lr_localizer: Localizer,
+    /// The FlowRadar comparison track's localizer.
+    fr_localizer: Localizer,
 }
 
 struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
@@ -204,6 +229,7 @@ impl ScenarioStack {
             edges,
             controller,
             lr_localizer: Localizer::new(topology.clone()),
+            fr_localizer: Localizer::new(topology.clone()),
             simulator: Simulator::new(
                 topology,
                 SimConfig { epoch_ms: 50.0, seed: s.seed ^ 0x51b },
@@ -264,9 +290,13 @@ impl ScenarioStack {
             e.stage_runtime(staged);
             e.flip(ts_bit);
         }
+        // The switches' queue-depth exports (INT-style telemetry) ride along
+        // with the sketch reports: deep queues corroborate blame. Scenarios
+        // without the queue model export nothing, and the localizer is then
+        // bit-identical to the telemetry-free pass.
         let localization = self
             .controller
-            .localize(&analysis)
+            .localize_with_telemetry(&analysis, &report.queue_depth)
             .expect("stack always enables localization");
         let (loc_top1, loc_top3) = localization_hits(&report, &localization);
 
@@ -284,6 +314,20 @@ impl ScenarioStack {
         // with, so its localizer runs on pure victim blame.
         let lr_loc = self.lr_localizer.observe_epoch(&lr_report, &HashMap::new());
         let (lr_top1, lr_top3) = localization_hits(&report, &lr_loc);
+
+        // The FlowRadar comparison track: Bloom filter + IBLT counting
+        // tables recording *every flow's* exact size on both sides of the
+        // fabric, provisioned for the scenario's base flow count — the
+        // paper's premise that its memory scales with the number of
+        // *flows* (category 3), so flow-heavy epochs (floods, churn
+        // arrivals) are what overflow it, not loss-heavy ones.
+        let (fr_report, fr_decode_ok) = flowradar_epoch(s, &trace, &report);
+        let fr_score = {
+            let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
+            detection_score(fr_report.keys().copied(), &truth)
+        };
+        let fr_loc = self.fr_localizer.observe_epoch(&fr_report, &HashMap::new());
+        let (fr_top1, fr_top3) = localization_hits(&report, &fr_loc);
 
         let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
         let score = detection_score(analysis.loss_report.keys().copied(), &truth);
@@ -311,6 +355,15 @@ impl ScenarioStack {
             lr_decode_ok,
             lr_top1,
             lr_top3,
+            fr_f1: fr_score.f1,
+            fr_decode_ok,
+            fr_top1,
+            fr_top3,
+            qdepth_max: report
+                .queue_depth
+                .values()
+                .map(|d| d.max_depth)
+                .fold(0.0, f64::max),
         };
         EpochTrace {
             report,
@@ -382,8 +435,38 @@ fn lossradar_epoch(
     }
 }
 
+/// Runs the per-epoch FlowRadar baseline and returns its decoded victim
+/// loss map (empty on decode failure) plus the decode outcome. Memory is
+/// provisioned for ~1.3 cells per *base-trace flow* (decode succeeds w.h.p.
+/// just above the 3-hash IBLT threshold), so the table budget tracks the
+/// flow count the operator planned for — epochs with materially more flows
+/// than planned are the ones that stall the peel.
+fn flowradar_epoch(
+    s: &Scenario,
+    trace: &Trace<FiveTuple>,
+    report: &EpochReport<FiveTuple>,
+) -> (HashMap<FiveTuple, u64>, bool) {
+    let cells = (s.n_flows as f64 * 1.3).max(64.0);
+    // The counting table gets 90% of FlowRadar's memory (12 B/cell).
+    let memory_bytes = (cells * 12.0 / 0.9) as usize;
+    let mut fr: FlowRadar<FiveTuple> =
+        FlowRadar::new(memory_bytes, s.seed ^ FR_SALT ^ report.epoch);
+    for &(f, pkts) in &trace.flows {
+        let lost = report.lost.get(&f).copied().unwrap_or(0);
+        fr.observe_upstream_flow(&f, pkts);
+        fr.observe_downstream_flow(&f, pkts - lost);
+    }
+    match fr.decode_losses() {
+        Some(m) => (m, true),
+        None => (HashMap::new(), false),
+    }
+}
+
 /// Salt separating the LossRadar hash seeds from the scenario seed.
 const LR_SALT: u64 = 0x10_55;
+
+/// Salt separating the FlowRadar hash seeds from the scenario seed.
+const FR_SALT: u64 = 0xf10b;
 
 /// Salt separating the data-plane hash seeds from the scenario seed.
 pub const CFG_SALT: u64 = 0xd9c0;
@@ -430,6 +513,12 @@ pub fn run_with_config(
         epochs.iter().filter(|e| e.lr_decode_ok).count() as f64 / n;
     let lr_mean_top1 = epochs.iter().map(|e| e.lr_top1).sum::<f64>() / n;
     let lr_mean_top3 = epochs.iter().map(|e| e.lr_top3).sum::<f64>() / n;
+    let fr_mean_f1 = epochs.iter().map(|e| e.fr_f1).sum::<f64>() / n;
+    let fr_decode_success =
+        epochs.iter().filter(|e| e.fr_decode_ok).count() as f64 / n;
+    let fr_mean_top1 = epochs.iter().map(|e| e.fr_top1).sum::<f64>() / n;
+    let fr_mean_top3 = epochs.iter().map(|e| e.fr_top3).sum::<f64>() / n;
+    let mean_qdepth_max = epochs.iter().map(|e| e.qdepth_max).sum::<f64>() / n;
     ScenarioResult {
         name: s.name.clone(),
         mode,
@@ -444,5 +533,10 @@ pub fn run_with_config(
         lr_decode_success,
         lr_mean_top1,
         lr_mean_top3,
+        fr_mean_f1,
+        fr_decode_success,
+        fr_mean_top1,
+        fr_mean_top3,
+        mean_qdepth_max,
     }
 }

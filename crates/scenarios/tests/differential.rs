@@ -29,6 +29,10 @@ fn assert_differential(s: &Scenario) {
             a.report.hops_histogram, b.report.hops_histogram,
             "{name} e{e}: hops histogram"
         );
+        assert_eq!(
+            a.report.queue_depth, b.report.queue_depth,
+            "{name} e{e}: queue-depth telemetry"
+        );
         assert_eq!(a.received, b.received, "{name} e{e}: report-loss mask");
         assert_eq!(a.collected.len(), b.collected.len(), "{name} e{e}: edges");
         for (i, (ga, gb)) in a.collected.iter().zip(&b.collected).enumerate() {
@@ -90,6 +94,35 @@ fn differential_holds_under_maximal_impairment_intensity() {
         .incast(0.4, 5)
         .derate_switch(chm_netsim::SwitchRole::Aggregation, 1, 0.2)
         .rolling_tor(1, 0.3)
+        .build();
+    assert_differential(&s);
+}
+
+#[test]
+fn differential_holds_under_queue_torture() {
+    // The time-resolved layer at full intensity — a synchronized microburst
+    // on top of a slow-draining ToR with RED early drop, composed with
+    // every channel impairment and workload dynamic. Equivalence is
+    // structural: the slotted fates realize above the hook boundary like
+    // everything else.
+    let s = Scenario::builder("queue-torture")
+        .seed(0xBA_D0_0B)
+        .flows(200)
+        .epochs(4)
+        .loss(chm_workloads::VictimSelection::RandomRatio(0.2), 0.1)
+        .queue_model(6)
+        .microburst(0.6, 2)
+        .slow_drain_tor(2, 0.35)
+        .queue_red(0.2, 1.5, 0.3)
+        .gilbert_elliott(0.1, 0.3, 0.02, 0.7)
+        .duplication(0.3)
+        .reordering(0.5, 16)
+        .clock_skew(0.3)
+        .report_loss(0.3)
+        .churn(0.3)
+        .flood(2, 15, 2_000)
+        .victim_drift(0.4)
+        .incast(0.3, 4)
         .build();
     assert_differential(&s);
 }

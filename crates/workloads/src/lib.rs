@@ -19,8 +19,10 @@
 
 pub mod distributions;
 pub mod loss;
+pub mod profile;
 pub mod trace;
 
 pub use distributions::{FlowSizeDistribution, WorkloadKind};
 pub use loss::{IncastModel, LossPlan, VictimDrift, VictimSelection};
+pub use profile::ArrivalProfile;
 pub use trace::{caida_like_trace, testbed_trace, FlowChurn, FloodModel, Trace};

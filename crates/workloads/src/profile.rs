@@ -1,0 +1,233 @@
+//! Slot-shaped arrival profiles: *when inside an epoch* a flow's packets
+//! arrive.
+//!
+//! The static congestion model treats an epoch as one homogeneous interval —
+//! a link is either saturated for all of it or none of it. Real fabrics
+//! misbehave on much shorter timescales: microbursts overwhelm a queue for a
+//! few hundred microseconds, incasts ramp up as stragglers join, and a
+//! slow-draining queue stays deep long after its burst has passed. An
+//! [`ArrivalProfile`] gives the queue simulator
+//! (`chm_netsim::queue`) that temporal dimension: each epoch is split into
+//! `S` discrete slots, and the profile says how many of a flow's packets
+//! land in each slot.
+//!
+//! # The closed-form contract
+//!
+//! Packets are assigned to slots **in packet order** (packet `i`'s slot is
+//! monotone non-decreasing in `i` — index order *is* time order within an
+//! epoch, the same convention `spread_drop` and clock skew already rely on),
+//! and the per-slot counts are the finite differences of a cumulative
+//! function:
+//!
+//! ```text
+//! counts[t] = cum(t+1) − cum(t),   cum(x) = ⌊pkts · F(x / S)⌋,   cum(S) = pkts
+//! ```
+//!
+//! so a flow's slot layout costs `O(S)`, never `O(pkts)` — the same
+//! closed-form discipline as `TowerSketch::insert_burst` and
+//! `spread_drop_prefix`. Both replay paths (per-packet and burst) and the
+//! queue realization's offered-load accounting call this one function, which
+//! is what keeps them byte-identical.
+//!
+//! All shaping is deterministic: the only randomness is the seeded burst
+//! position of [`ArrivalProfile::Microburst`], derived from the slot seed
+//! and the flow key — never from call order.
+
+use chm_common::hash::mix64;
+
+/// How a flow's packets are distributed over an epoch's time slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProfile {
+    /// Uniform arrivals: `pkts / S` packets per slot (exact integer
+    /// spreading, the temporal analogue of the static congestion model).
+    Flat,
+    /// A synchronized microburst: `frac` of every flow's packets concentrate
+    /// into a `width`-slot window. The window's epoch position is seeded
+    /// (per epoch), and each flow jitters its own start within the window by
+    /// a keyed offset — the aggregate is a sharp fabric-wide burst with
+    /// per-flow micro-structure, the classic incast/sync-app pathology.
+    Microburst {
+        /// Fraction of each flow's packets inside the burst window.
+        frac: f64,
+        /// Burst window width in slots (≥ 1).
+        width: usize,
+    },
+    /// Ramping arrivals: instantaneous rate grows linearly across the epoch
+    /// (cumulative `F(x) = x²`), peaking at ~2× the mean in the final slot —
+    /// the build-up phase of an incast as stragglers join.
+    IncastRamp,
+    /// Front-loaded arrivals: the mirror of the ramp (`F(x) = 1 − (1−x)²`),
+    /// rate ~2× the mean in the first slot then trailing off — the queue
+    /// fills early and spends the rest of the epoch draining, which is where
+    /// a slow-drain device shows its pathology.
+    SlowDrain,
+}
+
+impl ArrivalProfile {
+    /// Cumulative fraction of a flow's packets arriving in the first `x` of
+    /// `n_slots` slots (`0 ≤ x ≤ n_slots`); monotone with `F(0) = 0`,
+    /// `F(S) = 1`. `burst_start` positions the microburst window.
+    fn cdf(&self, x: usize, n_slots: usize, burst_start: usize) -> f64 {
+        let u = x as f64 / n_slots as f64;
+        match *self {
+            ArrivalProfile::Flat => u,
+            ArrivalProfile::Microburst { frac, width } => {
+                let w = width.max(1) as f64;
+                let g = ((x as f64 - burst_start as f64) / w).clamp(0.0, 1.0);
+                (1.0 - frac) * u + frac * g
+            }
+            ArrivalProfile::IncastRamp => u * u,
+            ArrivalProfile::SlowDrain => 1.0 - (1.0 - u) * (1.0 - u),
+        }
+    }
+
+    /// The microburst window start for one flow: the epoch-seeded global
+    /// position plus a keyed per-flow jitter inside the window.
+    fn burst_start(&self, flow_key: u64, slot_seed: u64, n_slots: usize) -> usize {
+        let ArrivalProfile::Microburst { width, .. } = *self else {
+            return 0;
+        };
+        let width = width.max(1).min(n_slots);
+        let latest = n_slots - width;
+        if latest == 0 {
+            return 0;
+        }
+        let global = (mix64(slot_seed ^ BURST_SALT) as usize) % (latest + 1);
+        let jitter = (mix64(slot_seed ^ flow_key ^ JITTER_SALT) as usize) % width;
+        (global + jitter).min(latest)
+    }
+
+    /// Fills `out` with this flow's per-slot packet counts
+    /// (`out.len() == n_slots`, `out.iter().sum() == pkts`). Pure function
+    /// of `(self, flow_key, pkts, slot_seed, n_slots)` — the queue
+    /// realization's offered-load accounting and both replay paths' fate
+    /// realizations call it with identical inputs and get identical layouts.
+    pub fn slot_counts(
+        &self,
+        flow_key: u64,
+        pkts: u64,
+        slot_seed: u64,
+        n_slots: usize,
+        out: &mut Vec<u64>,
+    ) {
+        assert!(n_slots >= 1, "need at least one slot");
+        out.clear();
+        if let ArrivalProfile::Flat = self {
+            // Exact integer spreading — no float round-trip at all.
+            for t in 0..n_slots as u64 {
+                out.push(pkts * (t + 1) / n_slots as u64 - pkts * t / n_slots as u64);
+            }
+            return;
+        }
+        let start = self.burst_start(flow_key, slot_seed, n_slots);
+        let mut prev = 0u64;
+        for t in 1..=n_slots {
+            let cum = if t == n_slots {
+                pkts // F(S) = 1 exactly, immune to float rounding
+            } else {
+                (pkts as f64 * self.cdf(t, n_slots, start)).floor() as u64
+            };
+            out.push(cum - prev);
+            prev = cum;
+        }
+    }
+}
+
+/// Salt of the epoch-global microburst position.
+const BURST_SALT: u64 = 0x6275_7273; // "burs"
+/// Salt of the per-flow jitter inside the burst window.
+const JITTER_SALT: u64 = 0x6a69_7474; // "jitt"
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(p: ArrivalProfile, key: u64, pkts: u64, seed: u64, s: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        p.slot_counts(key, pkts, seed, s, &mut out);
+        out
+    }
+
+    #[test]
+    fn every_profile_conserves_packets() {
+        for p in [
+            ArrivalProfile::Flat,
+            ArrivalProfile::Microburst { frac: 0.5, width: 2 },
+            ArrivalProfile::IncastRamp,
+            ArrivalProfile::SlowDrain,
+        ] {
+            for pkts in [0u64, 1, 7, 100, 12_345] {
+                let c = counts(p, 42, pkts, 9, 8);
+                assert_eq!(c.len(), 8);
+                assert_eq!(c.iter().sum::<u64>(), pkts, "{p:?} pkts={pkts}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_is_exactly_uniform() {
+        let c = counts(ArrivalProfile::Flat, 1, 80, 0, 8);
+        assert_eq!(c, vec![10; 8]);
+        let c = counts(ArrivalProfile::Flat, 1, 10, 0, 4);
+        // ⌊10(t+1)/4⌋ differences: 2,3,2,3.
+        assert_eq!(c, vec![2, 3, 2, 3]);
+    }
+
+    #[test]
+    fn microburst_concentrates_the_burst_fraction() {
+        let p = ArrivalProfile::Microburst { frac: 0.6, width: 2 };
+        let c = counts(p, 7, 10_000, 3, 8);
+        // The two heaviest adjacent slots must hold ≳ the burst fraction
+        // (plus their flat share).
+        let max2 = c.windows(2).map(|w| w[0] + w[1]).max().unwrap();
+        assert!(max2 >= 6_000, "burst window too light: {c:?}");
+        // The flat floor is still everywhere.
+        assert!(c.iter().all(|&n| n >= 10_000 / 8 / 3), "flat floor missing: {c:?}");
+    }
+
+    #[test]
+    fn microburst_position_is_seeded_and_jittered() {
+        let p = ArrivalProfile::Microburst { frac: 0.8, width: 2 };
+        let a = counts(p, 7, 1_000, 3, 16);
+        assert_eq!(a, counts(p, 7, 1_000, 3, 16), "determinism");
+        // Different epochs (slot seeds) can move the window.
+        let moved = (0..16u64).any(|s| counts(p, 7, 1_000, s, 16) != a);
+        assert!(moved, "burst position must depend on the slot seed");
+        // Different flows can jitter within the window.
+        let jittered = (0..64u64).any(|k| counts(p, k, 1_000, 3, 16) != a);
+        assert!(jittered, "burst position must carry per-flow jitter");
+    }
+
+    #[test]
+    fn ramp_grows_and_slow_drain_shrinks() {
+        let ramp = counts(ArrivalProfile::IncastRamp, 1, 8_000, 0, 8);
+        assert!(ramp.last().unwrap() > ramp.first().unwrap());
+        assert!(ramp.windows(2).all(|w| w[1] >= w[0]), "ramp must be monotone: {ramp:?}");
+        let drain = counts(ArrivalProfile::SlowDrain, 1, 8_000, 0, 8);
+        assert!(drain.first().unwrap() > drain.last().unwrap());
+        assert!(
+            drain.windows(2).all(|w| w[1] <= w[0]),
+            "slow-drain must be monotone: {drain:?}"
+        );
+        // The two are mirrors.
+        let mut rev = drain.clone();
+        rev.reverse();
+        assert_eq!(ramp, rev);
+    }
+
+    #[test]
+    fn tiny_flows_are_valid_everywhere() {
+        for p in [
+            ArrivalProfile::Microburst { frac: 0.99, width: 1 },
+            ArrivalProfile::IncastRamp,
+        ] {
+            for pkts in 0..4u64 {
+                for s in 1..6usize {
+                    let c = counts(p, 5, pkts, 1, s);
+                    assert_eq!(c.iter().sum::<u64>(), pkts);
+                    assert_eq!(c.len(), s);
+                }
+            }
+        }
+    }
+}
