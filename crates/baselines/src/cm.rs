@@ -98,7 +98,11 @@ impl CuSketch {
 impl<F: FlowId> AccumulationSketch<F> for CuSketch {
     fn insert(&mut self, f: &F) {
         let slots = self.inner.slots(f.key64());
-        let min = slots.iter().map(|&s| self.inner.counters[s]).min().unwrap();
+        let min = slots
+            .iter()
+            .map(|&s| self.inner.counters[s])
+            .min()
+            .expect("sketch geometry guarantees at least one row, so the slot set is non-empty");
         for s in slots {
             if self.inner.counters[s] == min {
                 self.inner.counters[s] = self.inner.counters[s].saturating_add(1);

@@ -63,9 +63,14 @@ pub fn stable_point(
         0.01,
         seed ^ 0x99,
     );
+    // The bench harness is the one place allowed to read real time: inject
+    // it so the library itself stays clock-free.
+    #[allow(clippy::disallowed_methods)] // bench timing harness
+    let epoch_start = std::time::Instant::now();
+    let mut clock = move || epoch_start.elapsed().as_secs_f64();
     let mut last = None;
     for e in 0..MAX_SETTLE_EPOCHS {
-        let out = sys.run_epoch(&trace, &plan);
+        let out = sys.run_epoch_with_clock(&trace, &plan, &mut clock);
         let stable = out.staged_runtime == out.config_in_effect;
         // Footnote 7: record a data point only once attention has shifted
         // *successfully* — configuration stable and the epoch's encoders

@@ -7,9 +7,15 @@
 //! [`report::Table::write_json`], a machine-readable record under
 //! `results/`.
 
+#![forbid(unsafe_code)]
+
 pub mod attention;
+// The timing harnesses are the one place the workspace reads real time
+// (clippy.toml disallows `Instant::now` everywhere else).
+#[allow(clippy::disallowed_methods)]
 pub mod lossdet;
 pub mod parallel;
+#[allow(clippy::disallowed_methods)]
 pub mod perf;
 pub mod report;
 pub mod scenarios;

@@ -107,8 +107,8 @@ fn main() {
         plan.num_victims()
     );
     println!(
-        "{:>5} {:>8} {:>6} {:>6} {:>7} {:>22} {:>9} {:>9} {:>8}",
-        "epoch", "state", "Th", "Tl", "sample", "memory HH/HL/LL", "victims", "truth", "resp_ms"
+        "{:>5} {:>8} {:>6} {:>6} {:>7} {:>22} {:>9} {:>9}",
+        "epoch", "state", "Th", "Tl", "sample", "memory HH/HL/LL", "victims", "truth"
     );
     for _ in 0..args.epochs {
         let out = sys.run_epoch(&trace, &plan);
@@ -121,7 +121,7 @@ fn main() {
             .filter(|(f, &l)| out.analysis.loss_report.get(f) == Some(&l))
             .count();
         println!(
-            "{:>5} {:>8} {:>6} {:>6} {:>7.3} {:>8}/{:>6}/{:>5} {:>9} {:>9} {:>8.1}",
+            "{:>5} {:>8} {:>6} {:>6} {:>7.3} {:>8}/{:>6}/{:>5} {:>9} {:>9}",
             out.report.epoch,
             format!("{:?}", out.analysis.state_during),
             rt.th,
@@ -132,7 +132,6 @@ fn main() {
             p.m_ll,
             format!("{}({exact}=)", out.analysis.loss_report.len()),
             out.report.lost.len(),
-            out.response_time_s * 1000.0,
         );
     }
 }

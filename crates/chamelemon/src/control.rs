@@ -230,6 +230,7 @@ impl<F: FlowId> Controller<F> {
         // came from the partial peel — discount it.
         let mut confidence: HashMap<F, f64> = HashMap::new();
         if a.hl_flowset.is_none() {
+            // chm-lint: allow(map-iter-order, "each key is inserted once with the same constant; the resulting map is order-independent as a value")
             for f in a.loss_report.keys() {
                 let ll_attested = a
                     .ll_flowset
@@ -372,6 +373,7 @@ impl<F: FlowId> Controller<F> {
             for (g, hh) in collected.iter().zip(&hh_flowsets).skip(1) {
                 let mut up = g.up_hl.clone();
                 if hh_decode_ok {
+                    // chm-lint: allow(map-iter-order, "sketch insertion is commutative counter addition mod p; final sketch state is independent of insert order")
                     for (f, c) in hh {
                         up.insert_weighted(f, *c);
                     }
@@ -450,6 +452,7 @@ impl<F: FlowId> Controller<F> {
                 }
             }
             None => {
+                // chm-lint: allow(map-iter-order, "integer += accumulation into per-flow entries commutes; the loss report is order-independent as a value")
                 for (f, c) in &hl_partial {
                     if *c > 0 && hh_flowsets.iter().any(|m| m.contains_key(f)) {
                         *loss_report.entry(*f).or_insert(0) += *c as u64;

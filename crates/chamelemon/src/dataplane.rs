@@ -174,6 +174,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
 
     /// Classifies and encodes a packet entering the network here; returns
     /// the hierarchy for the header tag (§3.2.1–3.2.2).
+    // chm-lint: hot
     pub fn on_ingress(&mut self, f: &F, ts: u8) -> Hierarchy {
         let key = f.key64();
         let sample16 = self.sample_hash.sample16(key) as u32;
@@ -204,6 +205,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
     /// (§3.2.3: "packets of HH candidates are also encoded into the
     /// downstream HL encoder").
     #[inline]
+    // chm-lint: hot
     pub fn on_egress(&mut self, f: &F, ts: u8, h: Hierarchy) {
         self.on_egress_burst(f, ts, h, 1);
     }
@@ -219,6 +221,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
     /// caller can index positionally. The egress switch replays the
     /// segments through [`on_egress_burst`](Self::on_egress_burst) with its
     /// delivered counts.
+    // chm-lint: hot
     pub fn on_ingress_burst(&mut self, f: &F, ts: u8, n: u64) -> [(Hierarchy, u64); 3] {
         let key = f.key64();
         let sample16 = self.sample_hash.sample16(key) as u32;
@@ -251,6 +254,7 @@ impl<F: FlowId> EdgeDataPlane<F> {
     /// Encodes `delivered` packets of one hierarchy segment exiting the
     /// network here — the batched form of [`on_egress`](Self::on_egress).
     #[inline]
+    // chm-lint: hot
     pub fn on_egress_burst(&mut self, f: &F, ts: u8, h: Hierarchy, delivered: u64) {
         if delivered == 0 {
             return;

@@ -41,6 +41,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod control;
 pub mod dataplane;
@@ -85,8 +87,10 @@ pub struct EpochOutcome<F: chm_common::FlowId> {
     pub config_in_effect: RuntimeConfig,
     /// The runtime configuration the controller staged for the next epoch.
     pub staged_runtime: RuntimeConfig,
-    /// Wall-clock time the controller spent analyzing + reconfiguring — the
-    /// "response time" of Figure 20.
+    /// Time the controller spent analyzing + reconfiguring — the "response
+    /// time" of Figure 20. The library never reads a clock itself: this is
+    /// `0.0` under [`ChameleMon::run_epoch`] and real only when the bench
+    /// harness injects one via [`ChameleMon::run_epoch_with_clock`].
     pub response_time_s: f64,
 }
 
@@ -142,6 +146,27 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
     where
         F: Routable,
     {
+        // Determinism: the library owns no clock. `response_time_s` stays
+        // 0.0 here; the bench harness measures real time by injecting one
+        // through `run_epoch_with_clock`.
+        self.run_epoch_with_clock(trace, plan, &mut || 0.0)
+    }
+
+    /// [`run_epoch`](Self::run_epoch) with an injected monotonic clock
+    /// (seconds as `f64`): `now_s` is sampled immediately before and after
+    /// the controller's analyze + reconfigure step and the difference is
+    /// reported as [`EpochOutcome::response_time_s`]. Only the bench
+    /// timing harness passes a real clock; everything else inherits the
+    /// zero clock and stays bit-reproducible.
+    pub fn run_epoch_with_clock(
+        &mut self,
+        trace: &Trace<F>,
+        plan: &LossPlan<F>,
+        now_s: &mut dyn FnMut() -> f64,
+    ) -> EpochOutcome<F>
+    where
+        F: Routable,
+    {
         let config_in_effect = *self.controller.deployed_runtime();
         let report = {
             let mut hooks = EdgeArray(&mut self.edges);
@@ -154,10 +179,10 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
         // `mem::replace` hands it owned snapshots, nothing is copied.
         let collected: Vec<CollectedGroup<F>> =
             self.edges.iter_mut().map(|e| e.take_group(ts_bit)).collect();
-        let t0 = std::time::Instant::now();
+        let t0 = now_s();
         let analysis = self.controller.analyze_epoch(&collected);
         let new_runtime = self.controller.reconfigure(&analysis);
-        let response_time_s = t0.elapsed().as_secs_f64();
+        let response_time_s = now_s() - t0;
         // The reconfiguration functions in the *next* epoch (§4.3): stage it
         // on every edge; the flip below swaps groups and applies it.
         for e in &mut self.edges {

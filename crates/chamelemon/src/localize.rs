@@ -248,7 +248,7 @@ impl Localizer {
             .filter(|&(_, &b)| b > 0.0)
             .map(|(&s, _)| (s, self.score(s)))
             .collect();
-        ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranking.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Localization { per_victim, ranking }
     }
 
@@ -257,8 +257,7 @@ impl Localizer {
     fn rank_route(&self, route: &mut [SwitchId]) {
         route.sort_by(|a, b| {
             self.score(*b)
-                .partial_cmp(&self.score(*a))
-                .unwrap()
+                .total_cmp(&self.score(*a))
                 .then(a.cmp(b))
         });
     }

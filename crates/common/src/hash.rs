@@ -61,6 +61,7 @@ impl FastRange {
     /// Maps a full-range hash value `v < 2^61` into `[0, m)` with one
     /// widening multiply and one shift — no division, no branch.
     #[inline]
+    // chm-lint: hot
     pub const fn reduce(self, v: u64) -> usize {
         debug_assert!(v < MERSENNE_P);
         ((v as u128 * self.m as u128) >> 61) as usize
@@ -108,6 +109,7 @@ impl PairwiseHash {
     /// Hashes a 64-bit key into `[0, m)` via the branch-free
     /// [`FastRange`] reduction.
     #[inline]
+    // chm-lint: hot
     pub fn index(&self, key: u64, m: usize) -> usize {
         debug_assert!(m > 0);
         FastRange::new(m).reduce(self.raw(key))
@@ -125,6 +127,7 @@ impl PairwiseHash {
 
     /// The full-range hash value in `[0, p)` before range reduction.
     #[inline]
+    // chm-lint: hot
     pub fn raw(&self, key: u64) -> u64 {
         self.raw_premixed(reduce64(mix64(key)))
     }
@@ -132,6 +135,7 @@ impl PairwiseHash {
     /// Like [`raw`](Self::raw) but for a key already mixed and reduced into
     /// `[0, p)` — the per-array step [`BatchHasher`] amortizes over.
     #[inline]
+    // chm-lint: hot
     pub fn raw_premixed(&self, x: u64) -> u64 {
         let ax = mul_mod(self.a, x);
         let s = ax + self.b; // < 2^62
@@ -188,12 +192,14 @@ impl BatchHasher {
 
     /// The full-range value of hash function `h` for this key.
     #[inline]
+    // chm-lint: hot
     pub fn raw(&self, h: &PairwiseHash) -> u64 {
         h.raw_premixed(self.x)
     }
 
     /// The bucket index of hash function `h` under reduction `r`.
     #[inline]
+    // chm-lint: hot
     pub fn index(&self, h: &PairwiseHash, r: FastRange) -> usize {
         r.reduce(self.raw(h))
     }
@@ -249,6 +255,7 @@ impl HashFamily {
 
     /// Hashes `key` with function `i` into `[0, m)`.
     #[inline]
+    // chm-lint: hot
     pub fn index(&self, i: usize, key: u64, m: usize) -> usize {
         self.fns[i].index(key, m)
     }

@@ -19,6 +19,8 @@
 //! Everything here is deterministic given a seed, so experiments are
 //! reproducible run-to-run.
 
+#![forbid(unsafe_code)]
+
 pub mod flowid;
 pub mod hash;
 pub mod metrics;

@@ -22,6 +22,8 @@
 //! Memory is `Θ(M)` in the number of encoded flows; with `d = 3`, decoding
 //! succeeds w.h.p. once buckets ≥ 1.23·M (Theorem 3.1).
 
+#![forbid(unsafe_code)]
+
 use chm_common::flowid::{FlowId, MAX_FRAGMENTS};
 use chm_common::hash::{BatchHasher, FastRange, HashFamily, PairwiseHash};
 use chm_common::prime::{add_mod, inv_mod, mul_mod, signed_to_mod, sub_mod};
@@ -231,6 +233,7 @@ impl<F: FlowId> FermatSketch<F> {
     /// [`insert_weighted`](Self::insert_weighted) with a caller-supplied
     /// [`key64`](FlowId::key64).
     #[inline]
+    // chm-lint: hot
     pub fn insert_weighted_keyed(&mut self, f: &F, key: u64, weight: i64) {
         debug_assert_eq!(key, f.key64());
         assert!(

@@ -1,0 +1,130 @@
+//! Diagnostics and the machine-readable report.
+
+use std::fmt::Write as _;
+
+/// One finding, anchored to a file/line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule id (one of [`crate::rules::RULE_IDS`]).
+    pub rule: &'static str,
+    /// Enclosing function name, when known.
+    pub function: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// One honored `allow` (reported so CI artifacts record every waiver).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowRecord {
+    /// Workspace-relative path.
+    pub file: String,
+    /// Line of the directive.
+    pub line: u32,
+    /// Rule id being allowed.
+    pub rule: String,
+    /// The written justification.
+    pub reason: String,
+}
+
+/// The whole run's output.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations, sorted by (file, line, rule).
+    pub violations: Vec<Diagnostic>,
+    /// Allows with reasons that suppressed (or stood ready to suppress)
+    /// diagnostics, sorted by (file, line).
+    pub allows: Vec<AllowRecord>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when the workspace is clean.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the report as deterministic, machine-readable JSON (the CI
+    /// artifact format). Hand-rolled like `chm_bench::report` — the
+    /// workspace vendors no serde.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"violation_count\": {},", self.violations.len());
+        s.push_str("  \"violations\": [\n");
+        for (i, d) in self.violations.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"function\": {}, \"message\": {}}}",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                d.function.as_deref().map(json_str).unwrap_or_else(|| "null".into()),
+                json_str(&d.message),
+            );
+            s.push_str(if i + 1 < self.violations.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(&a.rule),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason),
+            );
+            s.push_str(if i + 1 < self.allows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_wellformed_and_escaped() {
+        let mut r = LintReport { files_scanned: 1, ..Default::default() };
+        r.violations.push(Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            rule: "unwrap",
+            function: Some("f".into()),
+            message: "bare `unwrap()` with \"quotes\"".into(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"violation_count\": 1"));
+        assert!(j.contains("\"function\": \"f\""));
+    }
+}

@@ -1,0 +1,135 @@
+//! `// chm-lint:` comment directives.
+//!
+//! A directive must start the comment: `// chm-lint: …` (after the
+//! slashes, an optional `!`, and whitespace). Mentions of `chm-lint:`
+//! elsewhere in a comment — prose, doc bullets, examples — are ignored,
+//! so documentation can talk about the syntax without invoking it.
+//!
+//! Two forms are recognized:
+//!
+//! * `// chm-lint: hot` — marks the next function as a hot-path function:
+//!   the `hot-path-mod` and `hot-path-alloc` rules apply to its body.
+//! * `// chm-lint: allow(rule, "reason")` — suppresses diagnostics of
+//!   `rule`. Placed in the comment block directly above an `fn`, it covers
+//!   the whole function; anywhere else it covers its own line and the next
+//!   code line. The reason string is **mandatory**: an `allow` without one
+//!   (or naming an unknown rule) is itself a violation (`bad-allow`).
+
+use crate::rules::RULE_IDS;
+
+/// One parsed directive occurrence.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// `chm-lint: hot`
+    Hot,
+    /// `chm-lint: allow(rule, "reason")` — `reason` is `None` when missing.
+    Allow {
+        /// The rule id being allowed (verbatim, may be unknown).
+        rule: String,
+        /// The quoted justification, if one was given.
+        reason: Option<String>,
+    },
+    /// `chm-lint:` followed by something unparseable.
+    Malformed(String),
+}
+
+/// Parses the directive opening one comment's text, if any. Returns an
+/// empty vec for ordinary comments (including ones that merely *mention*
+/// `chm-lint:` mid-prose).
+pub fn parse(comment: &str) -> Vec<Directive> {
+    // Strip the comment opener: `//`, `///`, `//!` and whitespace.
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim_start();
+    let Some(rest) = body.strip_prefix("chm-lint:") else {
+        return Vec::new();
+    };
+    let body = rest.trim_start();
+    let d = if body.starts_with("hot") {
+        Directive::Hot
+    } else if let Some(args) = body.strip_prefix("allow") {
+        parse_allow(args)
+    } else {
+        Directive::Malformed(body.chars().take(40).collect())
+    };
+    vec![d]
+}
+
+/// Parses the `(rule, "reason")` tail of an allow directive.
+fn parse_allow(args: &str) -> Directive {
+    let args = args.trim_start();
+    let Some(inner) = args.strip_prefix('(') else {
+        return Directive::Malformed(format!("allow{}", args.chars().take(30).collect::<String>()));
+    };
+    let Some(close) = inner.find(')') else {
+        return Directive::Malformed("allow( missing )".into());
+    };
+    let inner = &inner[..close];
+    let (rule, tail) = match inner.find(',') {
+        Some(c) => (inner[..c].trim(), inner[c + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let reason = if tail.len() >= 2 && tail.starts_with('"') && tail.ends_with('"') {
+        let r = tail[1..tail.len() - 1].trim();
+        if r.is_empty() {
+            None
+        } else {
+            Some(r.to_string())
+        }
+    } else {
+        None
+    };
+    Directive::Allow {
+        rule: rule.to_string(),
+        reason,
+    }
+}
+
+/// True when `rule` is one of the analyzer's rule ids.
+pub fn is_known_rule(rule: &str) -> bool {
+    RULE_IDS.contains(&rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_hot() {
+        let d = parse("// chm-lint: hot");
+        assert!(matches!(d.as_slice(), [Directive::Hot]));
+    }
+
+    #[test]
+    fn parses_allow_with_reason() {
+        let d = parse(r#"// chm-lint: allow(unwrap, "index is bounds-checked above")"#);
+        match &d[0] {
+            Directive::Allow { rule, reason } => {
+                assert_eq!(rule, "unwrap");
+                assert_eq!(reason.as_deref(), Some("index is bounds-checked above"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn allow_without_reason_is_reasonless() {
+        let d = parse("// chm-lint: allow(unwrap)");
+        assert!(matches!(
+            &d[0],
+            Directive::Allow { reason: None, .. }
+        ));
+    }
+
+    #[test]
+    fn ordinary_comment_is_ignored() {
+        assert!(parse("// nothing to see").is_empty());
+    }
+
+    #[test]
+    fn malformed_directive_detected() {
+        let d = parse("// chm-lint: allwo(unwrap)");
+        assert!(matches!(&d[0], Directive::Malformed(_)));
+    }
+}

@@ -1,0 +1,327 @@
+//! A minimal, offline-safe Rust lexer.
+//!
+//! The workspace's vendoring policy forbids pulling in `syn`/`proc-macro2`,
+//! so the analyzer works on a hand-rolled token stream instead of a real
+//! AST. The lexer only needs to be faithful enough that the rules never
+//! mistake string/char/comment *contents* for code — it handles nested
+//! block comments, raw strings (`r"…"`, `r#"…"#`), byte strings, char
+//! literals vs. lifetimes, and keeps comments as first-class tokens so the
+//! `// chm-lint:` directives can be read back out of the stream.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also lifetimes, lexed as `'name`).
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffixes).
+    Num,
+    /// String literal (plain, raw, or byte), quotes included.
+    Str,
+    /// Char literal, quotes included.
+    Char,
+    /// `// …` comment (text includes the slashes), one per source line.
+    LineComment,
+    /// `/* … */` comment, possibly spanning lines; text is the whole body.
+    BlockComment,
+    /// Any single punctuation character (`.`, `:`, `%`, `{`, …).
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The verbatim source text of the lexeme.
+    pub text: String,
+    /// 1-based line number of the first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// run to end-of-file, and any unrecognized byte becomes a 1-char `Punct`.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            if b[i + 1] == '/' {
+                let start = i;
+                while i < n && b[i] != '\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: b[start..i].iter().collect(),
+                    line: start_line,
+                });
+                continue;
+            }
+        }
+        // Identifiers / keywords — with raw-string and byte-string prefixes.
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            let ident: String = b[start..i].iter().collect();
+            // r"…", r#"…"#, b"…", br#"…"# — the "identifier" was a prefix.
+            if (ident == "r" || ident == "b" || ident == "br")
+                && i < n
+                && (b[i] == '"' || (ident != "b" && b[i] == '#'))
+            {
+                let (text, nl) = lex_raw_or_byte_string(&b, start, &mut i);
+                toks.push(Tok { kind: TokKind::Str, text, line });
+                line += nl;
+                continue;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: ident, line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = b[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() {
+                    i += 1; // float like 1.5 — but not the range `0..`
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                if i < n && b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(n);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: b[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime/label.
+        if c == '\'' {
+            // `'\…'` or `'x'` → char literal; otherwise a lifetime.
+            let is_char = if i + 1 < n && b[i + 1] == '\\' {
+                true
+            } else {
+                i + 2 < n && b[i + 2] == '\''
+            };
+            if is_char {
+                let start = i;
+                i += 1;
+                while i < n && b[i] != '\'' {
+                    if b[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // Everything else: single-char punctuation.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Consumes a raw/byte string whose prefix (`r`/`b`/`br`) starts at `start`
+/// and whose body begins at `*i`. Returns the full text and how many
+/// newlines it spanned.
+fn lex_raw_or_byte_string(b: &[char], start: usize, i: &mut usize) -> (String, u32) {
+    let n = b.len();
+    let mut hashes = 0usize;
+    while *i < n && b[*i] == '#' {
+        hashes += 1;
+        *i += 1;
+    }
+    let mut newlines = 0u32;
+    if *i < n && b[*i] == '"' {
+        *i += 1;
+        let raw = hashes > 0 || b[start] == 'r' || (b[start] == 'b' && b[start + 1] == 'r');
+        loop {
+            if *i >= n {
+                break;
+            }
+            if b[*i] == '\n' {
+                newlines += 1;
+            }
+            if !raw && b[*i] == '\\' {
+                *i += 2;
+                continue;
+            }
+            if b[*i] == '"' {
+                // Need `hashes` trailing #s to close a raw string.
+                let mut k = 0usize;
+                while k < hashes && *i + 1 + k < n && b[*i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    *i += 1 + hashes;
+                    break;
+                }
+            }
+            *i += 1;
+        }
+    }
+    (b[start..(*i).min(n)].iter().collect(), newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let t = lex("let x = a % 10;");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "a", "%", "10", ";"]);
+    }
+
+    #[test]
+    fn comments_preserved_with_lines() {
+        let t = lex("a\n// chm-lint: hot\nfn f() {}\n");
+        assert_eq!(t[1].kind, TokKind::LineComment);
+        assert_eq!(t[1].line, 2);
+        assert!(t[2].is_ident("fn"));
+        assert_eq!(t[2].line, 3);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let t = lex("/* a /* b */ c */ x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].kind, TokKind::BlockComment);
+        assert!(t[1].is_ident("x"));
+    }
+
+    #[test]
+    fn strings_hide_contents() {
+        let t = lex(r#"let s = "Instant::now() % unsafe";"#);
+        assert!(t.iter().all(|t| !t.is_ident("unsafe")));
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let t = lex("let s = r#\"quote \" inside\"#; y");
+        assert!(t.iter().any(|t| t.is_ident("y")));
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let t = lex("fn f<'a>(x: &'a u8) { let c = 'x'; let nl = '\\n'; }");
+        let chars = t.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+        assert!(t.iter().any(|t| t.kind == TokKind::Ident && t.text == "'a"));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let t = lex("a = 1.5; for i in 0..10 {}");
+        assert!(t.iter().any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(t.iter().any(|t| t.kind == TokKind::Num && t.text == "0"));
+        assert!(t.iter().any(|t| t.kind == TokKind::Num && t.text == "10"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Path → role classification.
+//!
+//! Every rule is context-sensitive by crate/module role: the bench crate
+//! may read wall clocks, test code may `unwrap`, the vendored dependency
+//! stubs and the lint's own fixtures are not scanned at all. Roles are
+//! derived purely from the workspace-relative path, so the same source
+//! text lints differently depending on where it lives — which is the
+//! point: the *same* `Instant::now()` is fine in a timing harness and a
+//! reproducibility bug in library code.
+
+/// The role a file plays in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Ordinary library code: every determinism rule applies.
+    Lib,
+    /// Files that build serialized output, metrics, or `EpochReport`
+    /// content — the `map-iter-order` rule applies here on top of the
+    /// library rules.
+    OutputSurface,
+    /// `crates/bench/**`: the timing harness. Wall-clock reads are its
+    /// job; the `unwrap` audit is relaxed (benches fail loudly anyway).
+    Bench,
+    /// Integration-test files (`tests/` directories).
+    TestFile,
+    /// `examples/**`: narrative demos.
+    Example,
+    /// `src/bin/**`: CLI entry points of library crates.
+    Bin,
+    /// `vendor/**`: offline API stubs for external crates — not scanned.
+    Vendor,
+    /// The lint's own test fixtures — not scanned in workspace mode.
+    Fixture,
+}
+
+/// Files whose contents become serialized output, committed metrics, or
+/// `EpochReport` fields. `map-iter-order` (rule D1) is enforced here:
+/// iterating a `HashMap`/`HashSet` in these files must be provably
+/// order-independent or sorted first.
+const OUTPUT_SURFACE: &[&str] = &[
+    "crates/common/src/metrics.rs",
+    "crates/bench/src/report.rs",
+    "crates/bench/src/scenarios.rs",
+    "crates/scenarios/src/runner.rs",
+    "crates/netsim/src/sim.rs",
+    "crates/chamelemon/src/control.rs",
+    "crates/chamelemon/src/localize.rs",
+];
+
+/// Classifies a workspace-relative path (forward slashes).
+pub fn classify(rel: &str) -> Role {
+    if rel.starts_with("vendor/") {
+        return Role::Vendor;
+    }
+    if rel.contains("crates/lint/tests/fixtures/") || rel.starts_with("tests/fixtures/") {
+        return Role::Fixture;
+    }
+    if OUTPUT_SURFACE.contains(&rel) {
+        return Role::OutputSurface;
+    }
+    if rel.starts_with("crates/bench/") {
+        return Role::Bench;
+    }
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        return Role::TestFile;
+    }
+    if rel.starts_with("examples/") || rel.contains("/examples/") {
+        return Role::Example;
+    }
+    if rel.contains("/src/bin/") {
+        return Role::Bin;
+    }
+    Role::Lib
+}
+
+impl Role {
+    /// Is the file scanned at all?
+    pub fn scanned(self) -> bool {
+        !matches!(self, Role::Vendor | Role::Fixture)
+    }
+
+    /// Does the wall-clock rule (D3) apply? Only the bench harness may
+    /// read real time.
+    pub fn forbids_wall_clock(self) -> bool {
+        !matches!(self, Role::Bench | Role::Vendor | Role::Fixture)
+    }
+
+    /// Does the `map-iter-order` rule (D1) apply?
+    pub fn is_output_surface(self) -> bool {
+        self == Role::OutputSurface
+    }
+
+    /// Does the bare-`unwrap` audit (D5) apply? Library and output-surface
+    /// code must justify panics; tests, examples, benches, and CLI demos
+    /// may fail loudly.
+    pub fn audits_unwrap(self) -> bool {
+        matches!(self, Role::Lib | Role::OutputSurface)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(classify("crates/common/src/hash.rs"), Role::Lib);
+        assert_eq!(classify("crates/common/src/metrics.rs"), Role::OutputSurface);
+        assert_eq!(classify("crates/bench/src/perf.rs"), Role::Bench);
+        assert_eq!(classify("crates/bench/src/report.rs"), Role::OutputSurface);
+        assert_eq!(classify("crates/chamelemon/tests/attention.rs"), Role::TestFile);
+        assert_eq!(classify("tests/alloc_audit.rs"), Role::TestFile);
+        assert_eq!(classify("examples/quickstart.rs"), Role::Example);
+        assert_eq!(classify("crates/chamelemon/src/bin/chamelemon-sim.rs"), Role::Bin);
+        assert_eq!(classify("vendor/rand/src/lib.rs"), Role::Vendor);
+        assert_eq!(classify("crates/lint/tests/fixtures/d4_hot_bad.rs"), Role::Fixture);
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: broken escape hatches. Expected: bad-allow x3 (reasonless,
+// unknown rule, malformed) — and the underlying unwrap still fires
+// because a reasonless allow suppresses nothing.
+
+// chm-lint: allow(unwrap)
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+// chm-lint: allow(made-up-rule, "sounds plausible")
+pub fn second(v: &[u8]) -> u8 {
+    *v.get(1).expect("bounds-checked by caller")
+}
+
+// chm-lint: allwo(unwrap, "typo in the directive name")
+pub fn third(v: &[u8]) -> u8 {
+    v.len() as u8
+}

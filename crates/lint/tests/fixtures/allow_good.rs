@@ -1,0 +1,8 @@
+// Fixture: a well-formed reasoned allow — suppresses its rule within its
+// scope and is recorded for the audit listing. Expected: no diagnostics,
+// one recorded allow.
+
+// chm-lint: allow(unwrap, "v is split from a non-empty input two lines above; emptiness is impossible")
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

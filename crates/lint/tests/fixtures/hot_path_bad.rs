@@ -1,0 +1,18 @@
+// Fixture: hygiene breaches inside `// chm-lint: hot` functions.
+// Expected: hot-path-mod x1 (the `%`), hot-path-alloc x2 (format!, clone).
+
+// chm-lint: hot
+pub fn index(key: u64, m: u64) -> u64 {
+    key % m
+}
+
+// chm-lint: hot
+pub fn label(key: u64, tags: &Vec<String>) -> String {
+    let t = tags.clone();
+    format!("{key}:{}", t.len())
+}
+
+// An unmarked function may do all of this freely.
+pub fn cold_label(key: u64) -> String {
+    format!("{}", key % 7)
+}

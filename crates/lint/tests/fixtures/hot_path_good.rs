@@ -1,0 +1,12 @@
+// Fixture: a clean hot function — branch-free multiply-shift range
+// reduction, no allocation. Expected: no diagnostics.
+
+// chm-lint: hot
+pub fn index(premixed: u64, m: u64) -> usize {
+    ((premixed as u128 * m as u128) >> 61) as usize
+}
+
+// chm-lint: hot
+pub fn accumulate(counters: &mut [u64], slot: usize, weight: u64) {
+    counters[slot] = counters[slot].wrapping_add(weight);
+}

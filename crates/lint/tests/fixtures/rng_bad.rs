@@ -1,0 +1,10 @@
+// Fixture: entropy-drawing RNG construction. Expected: rng-discipline x2.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn seeded_badly() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,5 @@
+// Fixture: explicit-seed RNG construction. Expected: no diagnostics.
+
+pub fn epoch_rng(seed: u64, epoch: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}

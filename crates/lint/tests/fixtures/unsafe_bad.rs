@@ -1,0 +1,6 @@
+// Fixture: un-audited `unsafe`. Expected: unsafe-block x2 (the fn
+// qualifier and the inner block).
+
+pub unsafe fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

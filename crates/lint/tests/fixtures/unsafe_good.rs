@@ -1,0 +1,7 @@
+// Fixture: audited `unsafe` — a reasoned allow above the fn covers its
+// qualifier and body. Expected: no diagnostics, one recorded allow.
+
+// chm-lint: allow(unsafe-block, "caller contract: v is non-empty; checked by every call site's bounds test")
+pub unsafe fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,10 @@
+// Fixture: bare `.unwrap()` and empty `.expect("")` in library code.
+// Expected (under a library role): unwrap x2.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u8]) -> u8 {
+    *v.get(1).expect("")
+}

@@ -1,0 +1,15 @@
+// Fixture: documented `.expect()` in library code, and free `.unwrap()`
+// inside `#[cfg(test)]`. Expected: no diagnostics.
+
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().expect("caller guarantees a non-empty buffer")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u8];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

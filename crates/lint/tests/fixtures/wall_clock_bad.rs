@@ -1,0 +1,14 @@
+// Fixture: wall-clock reads in library code. Expected (under a library
+// role): wall-clock x2.
+
+pub fn analyze_timed() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

@@ -1,0 +1,7 @@
+// Fixture: the injected-clock pattern — library code measures time only
+// through a caller-supplied clock. Expected: no diagnostics.
+
+pub fn analyze_timed(now_s: &mut dyn FnMut() -> f64) -> f64 {
+    let t0 = now_s();
+    now_s() - t0
+}

@@ -225,7 +225,7 @@ impl CongestionRealization {
     /// order) — diagnostic output for examples and reports.
     pub fn hot_links(&self) -> Vec<(LinkId, f64)> {
         let mut v: Vec<(LinkId, f64)> = self.probs.iter().map(|(&l, &p)| (l, p)).collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 }

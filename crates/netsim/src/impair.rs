@@ -248,13 +248,13 @@ impl ImpairmentSet {
             debug_assert_eq!(probs.len(), route_len * n_slots, "probs must cover route x slots");
             debug_assert_eq!(slot_counts.iter().sum::<u64>(), pkts, "slots must cover the flow");
         }
-        out.delivered.clear();
+        out.delivered_mask.clear();
         out.dup.clear();
         out.drop_hop.clear();
         out.drop_hop.resize(pkts as usize, 0);
         for i in 0..pkts {
             let dead = spread_drop(i, pkts, base_lost);
-            out.delivered.push(!dead);
+            out.delivered_mask.push(!dead);
             if dead {
                 out.drop_hop[i as usize] = hash_hop(epoch_seed, flow_key, i, route_len);
             }
@@ -271,12 +271,12 @@ impl ImpairmentSet {
             match link_loss {
                 LinkLoss::Static(hop_probs) => {
                     for i in 0..pkts as usize {
-                        if !out.delivered[i] {
+                        if !out.delivered_mask[i] {
                             continue;
                         }
                         for (h, &p) in hop_probs.iter().enumerate() {
                             if p > 0.0 && rng.gen_bool(p) {
-                                out.delivered[i] = false;
+                                out.delivered_mask[i] = false;
                                 out.drop_hop[i] = h as u8;
                                 break;
                             }
@@ -290,11 +290,11 @@ impl ImpairmentSet {
                     let mut i = 0usize;
                     for (t, &cnt) in slot_counts.iter().enumerate() {
                         for _ in 0..cnt {
-                            if out.delivered[i] {
+                            if out.delivered_mask[i] {
                                 for h in 0..route_len {
                                     let p = probs[h * n_slots + t];
                                     if p > 0.0 && rng.gen_bool(p) {
-                                        out.delivered[i] = false;
+                                        out.delivered_mask[i] = false;
                                         out.drop_hop[i] = h as u8;
                                         break;
                                     }
@@ -315,8 +315,8 @@ impl ImpairmentSet {
             let mut bad = rng.gen_bool(p_bad0);
             for i in 0..pkts as usize {
                 let p = if bad { ge.loss_bad } else { ge.loss_good };
-                if p > 0.0 && rng.gen_bool(p) && out.delivered[i] {
-                    out.delivered[i] = false;
+                if p > 0.0 && rng.gen_bool(p) && out.delivered_mask[i] {
+                    out.delivered_mask[i] = false;
                     out.drop_hop[i] = hash_hop(epoch_seed, flow_key, i as u64, route_len);
                 }
                 bad = if bad {
@@ -334,7 +334,7 @@ impl ImpairmentSet {
                     if j < pkts {
                         // The whole fate moves with the packet: delivery
                         // flag and drop point swap together.
-                        out.delivered.swap(i as usize, j as usize);
+                        out.delivered_mask.swap(i as usize, j as usize);
                         out.drop_hop.swap(i as usize, j as usize);
                     }
                 }
@@ -344,7 +344,7 @@ impl ImpairmentSet {
             Some(du) => {
                 out.dup.extend(
                     (0..pkts as usize)
-                        .map(|i| out.delivered[i] && rng.gen_bool(du.prob)),
+                        .map(|i| out.delivered_mask[i] && rng.gen_bool(du.prob)),
                 );
             }
             None => out.dup.extend((0..pkts).map(|_| false)),
@@ -372,10 +372,10 @@ impl ImpairmentSet {
 /// the previous epoch's timestamp bit.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FabricFates {
-    /// `delivered[i]` — packet `i` exits the network.
-    pub delivered: Vec<bool>,
+    /// `delivered_mask[i]` — packet `i` exits the network.
+    pub delivered_mask: Vec<bool>,
     /// `drop_hop[i]` — the route position (0 = ingress ToR) whose switch
-    /// dropped packet `i`. Meaningful only where `delivered[i]` is false.
+    /// dropped packet `i`. Meaningful only where `delivered_mask[i]` is false.
     pub drop_hop: Vec<u8>,
     /// `dup[i]` — packet `i` additionally traverses egress a second time
     /// (only ever true for delivered packets).
@@ -388,12 +388,12 @@ pub struct FabricFates {
 impl FabricFates {
     /// Packets of the flow that exit the network (duplicates not counted).
     pub fn n_delivered(&self) -> u64 {
-        self.delivered.iter().filter(|&&d| d).count() as u64
+        self.delivered_mask.iter().filter(|&&d| d).count() as u64
     }
 
     /// Delivered packets with index in `[start, start + len)`.
     pub fn delivered_in(&self, start: u64, len: u64) -> u64 {
-        self.delivered[start as usize..(start + len) as usize]
+        self.delivered_mask[start as usize..(start + len) as usize]
             .iter()
             .filter(|&&d| d)
             .count() as u64
@@ -425,7 +425,7 @@ mod tests {
         let f = realize(&imp, 7, 100, 13);
         assert_eq!(f.n_delivered(), 87);
         for i in 0..100u64 {
-            assert_eq!(!f.delivered[i as usize], spread_drop(i, 100, 13));
+            assert_eq!(!f.delivered_mask[i as usize], spread_drop(i, 100, 13));
         }
         assert_eq!(f.skew_split, 0);
         assert!(f.dup.iter().all(|&d| !d));
@@ -444,13 +444,13 @@ mod tests {
         };
         let a = realize(&imp, 42, 500, 20);
         let b = realize(&imp, 42, 500, 20);
-        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.delivered_mask, b.delivered_mask);
         assert_eq!(a.drop_hop, b.drop_hop);
         assert_eq!(a.dup, b.dup);
         assert_eq!(a.skew_split, b.skew_split);
         // A different flow sees a different realization.
         let c = realize(&imp, 43, 500, 20);
-        assert_ne!(a.delivered, c.delivered);
+        assert_ne!(a.delivered_mask, c.delivered_mask);
     }
 
     #[test]
@@ -472,7 +472,7 @@ mod tests {
         // also lost must far exceed the marginal loss rate.
         let mut runs_of_two = 0u64;
         for i in 0..4_999 {
-            if !f.delivered[i] && !f.delivered[i + 1] {
+            if !f.delivered_mask[i] && !f.delivered_mask[i + 1] {
                 runs_of_two += 1;
             }
         }
@@ -494,7 +494,7 @@ mod tests {
         assert_eq!(f.n_delivered(), 360, "reordering must not change counts");
         // But the drop pattern must differ from the clean spread.
         let clean = realize(&ImpairmentSet::none(), 21, 400, 40);
-        assert_ne!(f.delivered, clean.delivered);
+        assert_ne!(f.delivered_mask, clean.delivered_mask);
     }
 
     #[test]
@@ -506,7 +506,7 @@ mod tests {
         };
         let f = realize(&imp, 31, 100, 30);
         for i in 0..100 {
-            assert_eq!(f.dup[i], f.delivered[i]);
+            assert_eq!(f.dup[i], f.delivered_mask[i]);
         }
     }
 
@@ -552,7 +552,7 @@ mod tests {
         let lost = 2_000 - f.n_delivered();
         assert!(lost > 500, "a 0.4 link must drop plenty, got {lost}");
         for i in 0..2_000usize {
-            if !f.delivered[i] {
+            if !f.delivered_mask[i] {
                 assert_eq!(f.drop_hop[i], 2, "packet {i} blamed the wrong hop");
             }
         }
@@ -579,7 +579,7 @@ mod tests {
     fn plan_drops_get_on_route_hash_hops() {
         let f = realize(&ImpairmentSet::none(), 31, 200, 17);
         for i in 0..200usize {
-            if !f.delivered[i] {
+            if !f.delivered_mask[i] {
                 assert!(f.drop_hop[i] < 5, "hop out of route");
                 assert_eq!(
                     f.drop_hop[i],

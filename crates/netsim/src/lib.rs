@@ -31,6 +31,8 @@
 //!   flow above the hook boundary so the per-packet and burst replays stay
 //!   byte-identical under any scenario.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod congestion;
 pub mod header;

@@ -365,7 +365,7 @@ impl QueueRealization {
             .iter()
             .map(|(&l, st)| (l, st.dropped / (st.arrivals.max(1) as f64)))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
     }
 }

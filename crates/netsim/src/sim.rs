@@ -220,7 +220,7 @@ fn attribute_fates<F: Copy + Eq + Hash>(
     lost_at: &mut HashMap<F, BTreeMap<SwitchId, u64>>,
 ) {
     let mut at: BTreeMap<SwitchId, u64> = BTreeMap::new();
-    for (i, &d) in fates.delivered.iter().enumerate() {
+    for (i, &d) in fates.delivered_mask.iter().enumerate() {
         if !d {
             *at.entry(route[fates.drop_hop[i] as usize]).or_insert(0) += 1;
         }
@@ -492,7 +492,7 @@ impl Simulator {
             for i in 0..pkts {
                 let ts = if i < fates.skew_split { prev_bit } else { ts_bit };
                 let tag = hooks.on_ingress(in_edge, &f, ts);
-                if fates.delivered[i as usize] {
+                if fates.delivered_mask[i as usize] {
                     hooks.on_egress(out_edge, &f, ts, tag);
                     if fates.dup[i as usize] {
                         hooks.on_egress(out_edge, &f, ts, tag);

@@ -390,7 +390,12 @@ fn localization_hits(
     let mut total = 0u64;
     let mut hit1 = 0u64;
     let mut hit3 = 0u64;
-    for f in report.lost_at.keys() {
+    // Deterministic victim order: `lost_at` is a HashMap, so sort its keys
+    // before walking them (the hit counters would commute, but a fixed
+    // order keeps any future per-victim output stable too).
+    let mut victims: Vec<&FiveTuple> = report.lost_at.keys().collect();
+    victims.sort_unstable();
+    for f in victims {
         let Some(truth) = report.dominant_drop_switch(f) else { continue };
         total += 1;
         if let Some(cands) = loc.per_victim.get(f) {

@@ -10,6 +10,8 @@
 //! *overflowed* and treated as `+∞`; queries return the minimum over the
 //! mapped counters.
 
+#![forbid(unsafe_code)]
+
 pub mod mrac;
 
 pub use mrac::{mrac_em, MracConfig};
@@ -122,6 +124,7 @@ impl TowerSketch {
     /// counter index comes from its precomputed branch-free [`FastRange`]
     /// reduction. No allocation, no division.
     #[inline]
+    // chm-lint: hot
     pub fn insert_and_query(&mut self, key: u64) -> u64 {
         let bh = BatchHasher::new(key);
         let mut min = u64::MAX;
@@ -157,6 +160,7 @@ impl TowerSketch {
     /// Resulting counter state is `min(c_i + n, sat_i)`, identical to `n`
     /// saturating unit increments.
     #[inline]
+    // chm-lint: hot
     pub fn insert_burst(&mut self, key: u64, n: u64, tl: u64, th: u64) -> (u64, u64, u64) {
         debug_assert!(tl <= th);
         if n == 0 {
@@ -199,7 +203,12 @@ impl TowerSketch {
     /// saturation value instead of `u64::MAX` (useful for size estimates).
     pub fn query_clamped(&self, key: u64) -> u64 {
         let q = self.query(key);
-        let max_sat = self.cfg.levels.last().unwrap().saturation();
+        let max_sat = self
+            .cfg
+            .levels
+            .last()
+            .expect("TowerSketch::new asserts at least one level")
+            .saturation();
         q.min(max_sat)
     }
 
@@ -251,7 +260,12 @@ impl TowerSketch {
     /// remaining range `[2^{δ_l} − 1, ∞)` comes from the HH-flowset tail
     /// sizes supplied by the caller.
     pub fn flow_size_distribution(&self, hh_tail_sizes: &[u64], em: &MracConfig) -> Vec<f64> {
-        let top_sat = self.cfg.levels.last().unwrap().saturation() as usize;
+        let top_sat = self
+            .cfg
+            .levels
+            .last()
+            .expect("TowerSketch::new asserts at least one level")
+            .saturation() as usize;
         let max_size = hh_tail_sizes
             .iter()
             .map(|&s| s as usize)

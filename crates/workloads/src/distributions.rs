@@ -118,7 +118,7 @@ impl FlowSizeDistribution {
             assert!(w[0].0 < w[1].0, "sizes must increase");
             assert!(w[0].1 <= w[1].1, "CDF must be monotone");
         }
-        let last = points.last().unwrap();
+        let last = points.last().expect("asserted non-empty above");
         assert!((last.1 - 1.0).abs() < 1e-9, "CDF must end at 1.0");
         FlowSizeDistribution { knots: points.to_vec() }
     }
@@ -165,7 +165,7 @@ impl FlowSizeDistribution {
             }
             prev = (size, cdf);
         }
-        self.knots.last().unwrap().0
+        self.knots.last().expect("constructors reject an empty knot list").0
     }
 
     /// Analytic-ish mean, estimated by quadrature over the quantile function.

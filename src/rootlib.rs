@@ -12,6 +12,8 @@
 //! * [`chm_scenarios`] — adversarial scenario engine + golden matrix.
 //! * [`chm_common`] — hashing, modular arithmetic, flow IDs, metrics.
 
+#![forbid(unsafe_code)]
+
 pub use chamelemon;
 pub use chm_baselines;
 pub use chm_common;

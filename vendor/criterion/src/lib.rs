@@ -8,6 +8,10 @@
 //! No statistics, baselines, or reports: just honest wall-clock numbers so
 //! `cargo bench` works offline.
 
+// A benchmark harness exists to read the clock; exempt it from the
+// workspace-wide `disallowed-methods` wall-clock ban (clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier preventing the optimizer from deleting benchmarked
