@@ -97,7 +97,9 @@ pub fn stable_point(
         tl: rt.tl,
         sample_rate: rt.sample_rate(),
         ill: out.analysis.state_during == NetworkState::Ill,
-        response_ms: out.response_time_s * 1000.0,
+        // `None` = not measured (no clock injected); json_number renders the
+        // resulting NaN as null rather than inventing a 0.0 response time.
+        response_ms: out.response_time_s.map_or(f64::NAN, |s| s * 1000.0),
     }
 }
 

@@ -4,6 +4,8 @@
 //! chm-bench perf [--quick] [--out <dir>]
 //! chm-bench scenarios [--quick] [--per-packet] [--out <dir>]
 //!                     [--seeds <n>] [--check <golden.json>]
+//! chm-bench soak [--quick] [--epochs <n>] [--seed <s>]
+//!                [--profile none|standard|stress] [--out <dir>]
 //! ```
 //!
 //! `perf` measures the hot-path packet engine (packets/sec, decode latency)
@@ -29,13 +31,48 @@
 
 use chm_bench::perf::{self, PerfConfig};
 use chm_bench::scenarios;
+use chm_bench::soak::{self, SoakConfig};
 use chm_scenarios::ReplayMode;
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global allocation counter feeding the soak's flatness gate. Lives in
+/// the binary root so the library keeps `forbid(unsafe_code)`; the
+/// `fetch_add` costs nanoseconds and the measured hot paths are
+/// allocation-free anyway (see `tests/alloc_audit.rs`).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// chm-lint: allow(unsafe-block, "counting-allocator shim: implementing GlobalAlloc is inherently unsafe and this type exists only in this binary")
+unsafe impl GlobalAlloc for CountingAlloc {
+    // chm-lint: allow(unsafe-block, "bumps a counter then delegates to System.alloc with the caller's layout unchanged")
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    // chm-lint: allow(unsafe-block, "pure delegation to System.dealloc; pointer and layout come straight from the caller")
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    // chm-lint: allow(unsafe-block, "bumps a counter then delegates to System.realloc with the caller's arguments unchanged")
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
         "usage: chm-bench perf [--quick] [--out <dir>]\n       \
          chm-bench scenarios [--quick] [--per-packet] [--out <dir>] \
-         [--seeds <n>] [--check <golden.json>]"
+         [--seeds <n>] [--check <golden.json>]\n       \
+         chm-bench soak [--quick] [--epochs <n>] [--seed <s>] \
+         [--profile none|standard|stress] [--out <dir>]"
     );
     std::process::exit(2);
 }
@@ -147,6 +184,51 @@ fn main() {
                     }
                     std::process::exit(1);
                 }
+            }
+        }
+        "soak" => {
+            let mut cfg = SoakConfig::full();
+            let mut out_dir = "results".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => cfg = SoakConfig { epochs: SoakConfig::quick().epochs, ..cfg },
+                    "--epochs" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(n) if n >= 1 => cfg.epochs = n,
+                        _ => usage(),
+                    },
+                    "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(s) => cfg.seed = s,
+                        None => usage(),
+                    },
+                    "--profile" => match it.next() {
+                        Some(p) if matches!(p.as_str(), "none" | "standard" | "stress") => {
+                            cfg.profile = p.clone()
+                        }
+                        _ => usage(),
+                    },
+                    "--out" => match it.next() {
+                        Some(d) => out_dir = d.clone(),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let report = soak::run(&cfg, &|| ALLOCATIONS.load(Ordering::SeqCst));
+            report.print();
+            if let Err(e) = report.write_json(&out_dir) {
+                eprintln!("error: could not write {out_dir}/SOAK.json: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("json: {out_dir}/SOAK.json");
+            if !report.alloc_flat {
+                eprintln!(
+                    "allocation-flatness gate FAILED: per-window allocations grew \
+                     (tolerance {}x + {})",
+                    soak::FLATNESS_RATIO,
+                    soak::FLATNESS_SLACK
+                );
+                std::process::exit(1);
             }
         }
         _ => usage(),

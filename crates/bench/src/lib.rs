@@ -19,6 +19,8 @@ pub mod parallel;
 pub mod perf;
 pub mod report;
 pub mod scenarios;
+#[allow(clippy::disallowed_methods)]
+pub mod soak;
 
 pub use lossdet::{min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario};
 pub use parallel::{run_trials, run_trials_all, run_trials_with};

@@ -17,7 +17,7 @@
 use crate::config::{DataPlaneConfig, Partition, RuntimeConfig};
 use crate::dataplane::CollectedGroup;
 use crate::localize::{
-    EpochEvidence, Localization, Localizer, PARTIAL_DECODE_CONFIDENCE,
+    EpochEvidence, Localization, Localizer, LocalizerSnapshot, PARTIAL_DECODE_CONFIDENCE,
 };
 use chm_common::hash::PairwiseHash;
 use chm_common::FlowId;
@@ -40,6 +40,26 @@ pub enum NetworkState {
     Healthy,
     /// Victim flows exceed capacity: monitor HLs, sample LLs.
     Ill,
+}
+
+/// The controller's evolving decision state, exported by
+/// [`Controller::snapshot`] and re-imported by [`Controller::restore`].
+///
+/// Holds exactly the state that is *not* derivable from the static
+/// [`DataPlaneConfig`]: the deployed runtime, the healthy/ill belief, the
+/// blocklist of HL sizes that failed to decode, and (when localization is
+/// enabled) the localizer's EWMA tables. `failed_hl_sizes` is kept sorted
+/// so two snapshots of identical controllers compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSnapshot {
+    /// Runtime configuration deployed at snapshot time.
+    pub deployed: RuntimeConfig,
+    /// Network-state belief (§4.3) at snapshot time.
+    pub state: NetworkState,
+    /// Sorted HL partition sizes that previously failed to decode.
+    pub failed_hl_sizes: Vec<usize>,
+    /// Localizer tables, present iff localization was enabled.
+    pub localizer: Option<LocalizerSnapshot>,
 }
 
 /// The controller's decoded view of one epoch.
@@ -271,6 +291,64 @@ impl<F: FlowId> Controller<F> {
     /// The runtime configuration currently deployed on the switches.
     pub fn deployed_runtime(&self) -> &RuntimeConfig {
         &self.deployed
+    }
+
+    /// Force-redeploys `rt` as the current runtime without consulting an
+    /// analysis — the degraded-mode control a supervising runtime
+    /// (`chm-serve`'s watchdog) uses to pin the last-known-good
+    /// configuration while decodes are stalled. The network-state belief
+    /// and the failed-size blocklist are untouched, so normal
+    /// [`reconfigure`](Self::reconfigure) resumes cleanly afterwards.
+    ///
+    /// # Panics
+    /// If `rt` is not valid under this controller's static configuration.
+    pub fn hold_runtime(&mut self, rt: RuntimeConfig) {
+        rt.validate(&self.cfg).expect("held runtime must be valid");
+        self.deployed = rt;
+    }
+
+    /// Exports the controller's evolving decision state — everything that
+    /// is not a pure function of the static [`DataPlaneConfig`] — for
+    /// persistence. [`restore`](Self::restore) onto a freshly built
+    /// controller (same config, localization enabled the same way)
+    /// reproduces every future analysis, reconfiguration, and localization
+    /// bit for bit: the decode scratch is reusable workspace, and the
+    /// sample hash and MRAC settings derive from the config.
+    pub fn snapshot(&self) -> ControllerSnapshot {
+        let mut failed: Vec<usize> = self.failed_hl_sizes.iter().copied().collect();
+        failed.sort_unstable();
+        ControllerSnapshot {
+            deployed: self.deployed,
+            state: self.state,
+            failed_hl_sizes: failed,
+            localizer: self.localizer.as_ref().map(|l| l.snapshot()),
+        }
+    }
+
+    /// Restores a [`snapshot`](Self::snapshot). The controller must have
+    /// been built with the same static configuration; if the snapshot
+    /// carries localizer tables, localization must already be enabled
+    /// (the topology is not part of the snapshot).
+    ///
+    /// # Panics
+    /// If the snapshot's runtime is invalid under this controller's static
+    /// configuration, or if it carries localizer state while localization
+    /// is not enabled.
+    pub fn restore(&mut self, snap: &ControllerSnapshot) {
+        snap.deployed
+            .validate(&self.cfg)
+            .expect("snapshot runtime must be valid for this config");
+        self.deployed = snap.deployed;
+        self.state = snap.state;
+        // chm-lint: allow(map-iter-order, "iterates the snapshot's sorted Vec -- same field name as the controller's set -- and rebuilds a HashSet, whose insertion order is immaterial")
+        self.failed_hl_sizes = snap.failed_hl_sizes.iter().copied().collect();
+        match (&mut self.localizer, &snap.localizer) {
+            (Some(l), Some(ls)) => l.restore(ls),
+            (_, None) => {}
+            (None, Some(_)) => {
+                panic!("snapshot has localizer state but localization is not enabled")
+            }
+        }
     }
 
     /// The controller's current belief about the network state.
@@ -839,5 +917,57 @@ mod tests {
     fn max_or_zero_works() {
         assert_eq!(max_or_zero(&[]), 0.0);
         assert_eq!(max_or_zero(&[1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_decision_state() {
+        let cfg = DataPlaneConfig::small(7);
+        let mut c: Controller<u64> = Controller::new(cfg.clone());
+        // Mutate every snapshotted field away from its initial value.
+        let mut rt = *c.deployed_runtime();
+        rt.partition = Partition {
+            m_hl: rt.partition.m_hl + 16,
+            m_hh: rt.partition.m_hh - 16,
+            ..rt.partition
+        };
+        c.hold_runtime(rt);
+        c.state = NetworkState::Ill;
+        c.failed_hl_sizes.insert(320);
+        c.failed_hl_sizes.insert(480);
+
+        let snap = c.snapshot();
+        assert_eq!(snap.failed_hl_sizes, vec![320, 480]);
+        assert!(snap.localizer.is_none());
+
+        let mut fresh: Controller<u64> = Controller::new(cfg);
+        fresh.restore(&snap);
+        assert_eq!(fresh.deployed_runtime(), c.deployed_runtime());
+        assert_eq!(fresh.state(), c.state());
+        assert_eq!(fresh.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_carries_localizer_tables() {
+        let topo = FatTree { n_edge: 2, hosts_per_edge: 2 };
+        let cfg = DataPlaneConfig::small(7);
+        let mut c: Controller<u64> = Controller::new(cfg.clone());
+        c.enable_localization(topo.clone());
+        let snap = c.snapshot();
+        assert!(snap.localizer.is_some());
+
+        let mut fresh: Controller<u64> = Controller::new(cfg);
+        fresh.enable_localization(topo);
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "held runtime must be valid")]
+    fn hold_runtime_rejects_invalid_config() {
+        let cfg = DataPlaneConfig::small(7);
+        let mut c: Controller<u64> = Controller::new(cfg);
+        let mut rt = *c.deployed_runtime();
+        rt.partition.m_hh += 1; // breaks m_hh + m_hl + m_ll == m_uf
+        c.hold_runtime(rt);
     }
 }

@@ -51,10 +51,10 @@ pub mod resources;
 pub mod tasks;
 
 pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
-pub use control::{Controller, EpochAnalysis, NetworkState};
+pub use control::{Controller, ControllerSnapshot, EpochAnalysis, NetworkState};
 pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
 pub use localize::{
-    EpochEvidence, Localization, Localizer, PARTIAL_DECODE_CONFIDENCE,
+    EpochEvidence, Localization, Localizer, LocalizerSnapshot, PARTIAL_DECODE_CONFIDENCE,
 };
 
 use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
@@ -89,9 +89,11 @@ pub struct EpochOutcome<F: chm_common::FlowId> {
     pub staged_runtime: RuntimeConfig,
     /// Time the controller spent analyzing + reconfiguring — the "response
     /// time" of Figure 20. The library never reads a clock itself: this is
-    /// `0.0` under [`ChameleMon::run_epoch`] and real only when the bench
-    /// harness injects one via [`ChameleMon::run_epoch_with_clock`].
-    pub response_time_s: f64,
+    /// `None` under [`ChameleMon::run_epoch`] and measured only when the
+    /// bench harness injects a clock via
+    /// [`ChameleMon::run_epoch_with_clock`]. There is deliberately no `0.0`
+    /// placeholder — "not measured" must never masquerade as "instant".
+    pub response_time_s: Option<f64>,
 }
 
 struct EdgeArray<'a, F: chm_common::FlowId>(&'a mut [EdgeDataPlane<F>]);
@@ -146,23 +148,35 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
     where
         F: Routable,
     {
-        // Determinism: the library owns no clock. `response_time_s` stays
-        // 0.0 here; the bench harness measures real time by injecting one
-        // through `run_epoch_with_clock`.
-        self.run_epoch_with_clock(trace, plan, &mut || 0.0)
+        // Determinism: the library owns no clock. `response_time_s` is
+        // `None` here; the bench harness measures real time by injecting a
+        // clock through `run_epoch_with_clock`.
+        self.run_epoch_inner(trace, plan, None)
     }
 
     /// [`run_epoch`](Self::run_epoch) with an injected monotonic clock
     /// (seconds as `f64`): `now_s` is sampled immediately before and after
     /// the controller's analyze + reconfigure step and the difference is
     /// reported as [`EpochOutcome::response_time_s`]. Only the bench
-    /// timing harness passes a real clock; everything else inherits the
-    /// zero clock and stays bit-reproducible.
+    /// timing harness passes a real clock; everything else goes through
+    /// [`run_epoch`](Self::run_epoch) and stays bit-reproducible.
     pub fn run_epoch_with_clock(
         &mut self,
         trace: &Trace<F>,
         plan: &LossPlan<F>,
         now_s: &mut dyn FnMut() -> f64,
+    ) -> EpochOutcome<F>
+    where
+        F: Routable,
+    {
+        self.run_epoch_inner(trace, plan, Some(now_s))
+    }
+
+    fn run_epoch_inner(
+        &mut self,
+        trace: &Trace<F>,
+        plan: &LossPlan<F>,
+        mut now_s: Option<&mut dyn FnMut() -> f64>,
     ) -> EpochOutcome<F>
     where
         F: Routable,
@@ -179,10 +193,10 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
         // `mem::replace` hands it owned snapshots, nothing is copied.
         let collected: Vec<CollectedGroup<F>> =
             self.edges.iter_mut().map(|e| e.take_group(ts_bit)).collect();
-        let t0 = now_s();
+        let t0 = now_s.as_mut().map(|f| f());
         let analysis = self.controller.analyze_epoch(&collected);
         let new_runtime = self.controller.reconfigure(&analysis);
-        let response_time_s = now_s() - t0;
+        let response_time_s = now_s.as_mut().zip(t0).map(|(f, t0)| f() - t0);
         // The reconfiguration functions in the *next* epoch (§4.3): stage it
         // on every edge; the flip below swaps groups and applies it.
         for e in &mut self.edges {

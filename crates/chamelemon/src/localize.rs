@@ -189,17 +189,37 @@ impl Localizer {
             *t *= self.decay;
         }
         // Telemetry is a per-epoch snapshot, not an accumulator: replace it
-        // wholesale, normalized by the epoch's deepest switch so the boost
-        // is scale-free in `[0, 1]`.
+        // wholesale, normalized by the epoch's deepest/heaviest switch so
+        // the boost is scale-free in `[0, 1]`. When the exporter provides
+        // slot-resolved drop series, half the boost comes from drop *mass
+        // and timing* — a switch that sheds its packets in a concentrated
+        // burst is a stronger culprit signal than one whose queue merely
+        // sat deep — and the depth share carries the other half. Exports
+        // with per-epoch aggregates only (no slot series anywhere) keep the
+        // pure depth normalization, bit-identical to the pre-slot-timing
+        // localizer.
         self.telemetry.clear();
         let deepest = ev
             .queue_depth
             .values()
             .map(|d| d.mean_depth)
             .fold(0.0f64, f64::max);
-        if deepest > 0.0 {
+        let heaviest = ev
+            .queue_depth
+            .values()
+            .map(|d| d.drop_mass())
+            .fold(0.0f64, f64::max);
+        if deepest > 0.0 || heaviest > 0.0 {
             for (&s, d) in ev.queue_depth {
-                self.telemetry.insert(s, d.mean_depth / deepest);
+                let depth_part =
+                    if deepest > 0.0 { d.mean_depth / deepest } else { 0.0 };
+                let boost = if heaviest > 0.0 {
+                    0.5 * depth_part
+                        + 0.5 * (d.drop_mass() / heaviest) * d.drop_concentration()
+                } else {
+                    depth_part
+                };
+                self.telemetry.insert(s, boost);
             }
         }
         // Deterministic fold order: the tables are floating point, so
@@ -261,6 +281,44 @@ impl Localizer {
                 .then(a.cmp(b))
         });
     }
+
+    /// Exports the cross-epoch tables for persistence. Together with the
+    /// topology (which the host reconstructs) this is the localizer's
+    /// entire state: [`restore`](Self::restore) onto a fresh localizer over
+    /// the same topology reproduces every future ranking bit for bit.
+    pub fn snapshot(&self) -> LocalizerSnapshot {
+        LocalizerSnapshot {
+            blame: self.blame.iter().map(|(&s, &v)| (s, v)).collect(),
+            transit: self.transit.iter().map(|(&s, &v)| (s, v)).collect(),
+            telemetry: self.telemetry.iter().map(|(&s, &v)| (s, v)).collect(),
+            decay: self.decay,
+        }
+    }
+
+    /// Replaces the cross-epoch tables with a previously exported
+    /// [`snapshot`](Self::snapshot) (the inverse operation; the topology is
+    /// not part of the snapshot and stays as constructed).
+    pub fn restore(&mut self, snap: &LocalizerSnapshot) {
+        self.blame = snap.blame.iter().copied().collect();
+        self.transit = snap.transit.iter().copied().collect();
+        self.telemetry = snap.telemetry.iter().copied().collect();
+        self.decay = snap.decay;
+    }
+}
+
+/// A [`Localizer`]'s persistable state: the decayed blame/transit tables
+/// and the current-epoch telemetry boost, in sorted switch order (the
+/// tables are `BTreeMap`s, so the vectors round-trip exactly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalizerSnapshot {
+    /// Per-switch accumulated blame.
+    pub blame: Vec<(SwitchId, f64)>,
+    /// Per-switch accumulated transit (exoneration mass).
+    pub transit: Vec<(SwitchId, f64)>,
+    /// Per-switch telemetry boost of the last observed epoch.
+    pub telemetry: Vec<(SwitchId, f64)>,
+    /// The per-epoch decay factor in effect.
+    pub decay: f64,
 }
 
 #[cfg(test)]
@@ -482,7 +540,11 @@ mod tests {
         let mut depth = BTreeMap::new();
         depth.insert(
             tor2,
-            chm_netsim::QueueDepthStat { max_depth: 900.0, mean_depth: 400.0 },
+            chm_netsim::QueueDepthStat {
+                max_depth: 900.0,
+                mean_depth: 400.0,
+                slot_drops: Vec::new(),
+            },
         );
         let mut loc = Localizer::new(FatTree::testbed());
         let l = loc.observe_evidence(EpochEvidence {
@@ -505,6 +567,109 @@ mod tests {
         let s0 = l2.ranking.iter().find(|&&(r, _)| r == tor0).unwrap().1;
         let s2 = l2.ranking.iter().find(|&&(r, _)| r == tor2).unwrap().1;
         assert!((s0 - s2).abs() < 1e-12, "boost must not persist: {l2:?}");
+    }
+
+    #[test]
+    fn concentrated_drop_timing_outranks_equal_depth() {
+        // Two victim groups with symmetric blame; both ToRs report the same
+        // mean queue depth and the same drop mass, but ToR 2's drops land
+        // in one slot (microburst signature) while ToR 0 bleeds uniformly:
+        // the slot-timing evidence must promote ToR 2.
+        let mut report = HashMap::new();
+        for i in 0..8u32 {
+            report.insert(flow(4 + (i % 2), i % 2, 6000 + i as u16), 30u64);
+            report.insert(flow(i % 2, 4 + (i % 2), 6100 + i as u16), 30u64);
+        }
+        let tor0 = SwitchId { role: SwitchRole::Edge, index: 0 };
+        let tor2 = SwitchId { role: SwitchRole::Edge, index: 2 };
+        let mut depth = BTreeMap::new();
+        depth.insert(
+            tor0,
+            chm_netsim::QueueDepthStat {
+                max_depth: 500.0,
+                mean_depth: 200.0,
+                slot_drops: vec![10.0; 8],
+            },
+        );
+        depth.insert(
+            tor2,
+            chm_netsim::QueueDepthStat {
+                max_depth: 500.0,
+                mean_depth: 200.0,
+                slot_drops: vec![0.0, 0.0, 80.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            },
+        );
+        let mut loc = Localizer::new(FatTree::testbed());
+        let l = loc.observe_evidence(EpochEvidence {
+            loss_report: &report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &depth,
+        });
+        let rank = |s: SwitchId| l.ranking.iter().position(|&(r, _)| r == s).unwrap();
+        assert!(
+            rank(tor2) < rank(tor0),
+            "concentrated drops must outrank uniform ones: {:?}",
+            l.ranking
+        );
+    }
+
+    #[test]
+    fn aggregate_only_telemetry_matches_the_pre_slot_localizer() {
+        // Exports with empty slot series everywhere must reproduce the pure
+        // depth normalization: boost = mean_depth / deepest.
+        let mut report = HashMap::new();
+        for i in 0..8u32 {
+            report.insert(flow(i % 4, 4 + (i % 4), 6300 + i as u16), 20u64);
+        }
+        let agg = SwitchId { role: SwitchRole::Edge, index: 1 };
+        let mut depth = BTreeMap::new();
+        depth.insert(
+            agg,
+            chm_netsim::QueueDepthStat {
+                max_depth: 100.0,
+                mean_depth: 40.0,
+                slot_drops: Vec::new(),
+            },
+        );
+        let mut with_slots = Localizer::new(FatTree::testbed());
+        let mut plain = Localizer::new(FatTree::testbed());
+        let a = with_slots.observe_evidence(EpochEvidence {
+            loss_report: &report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &depth,
+        });
+        let b = plain.observe_evidence(EpochEvidence {
+            loss_report: &report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &depth,
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_future_rankings() {
+        let mut report = HashMap::new();
+        let mut traffic = HashMap::new();
+        for i in 0..16u32 {
+            report.insert(flow(i % 8, (i + 3) % 8, 4200 + i as u16), 9 + i as u64);
+            traffic.insert(flow((i + 2) % 8, (i + 5) % 8, 8200 + i as u16), 150u64);
+        }
+        let mut a = Localizer::new(FatTree::testbed());
+        for _ in 0..3 {
+            a.observe_epoch(&report, &traffic);
+        }
+        let snap = a.snapshot();
+        let mut b = Localizer::new(FatTree::testbed());
+        b.restore(&snap);
+        assert_eq!(a.snapshot(), b.snapshot());
+        for _ in 0..3 {
+            let la = a.observe_epoch(&report, &traffic);
+            let lb = b.observe_epoch(&report, &traffic);
+            assert_eq!(la, lb, "restored localizer must track the original");
+        }
     }
 
     #[test]

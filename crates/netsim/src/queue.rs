@@ -186,6 +186,7 @@ impl QueueModel {
         let mut probs = BTreeMap::new();
         let mut stats = BTreeMap::new();
         let mut depth_by_switch: BTreeMap<SwitchId, Vec<f64>> = BTreeMap::new();
+        let mut drops_by_switch: BTreeMap<SwitchId, Vec<f64>> = BTreeMap::new();
         for (&(from, to), a) in &arrivals {
             let (sum, count) = class_sum[&(from.role, link_class_to(to))];
             let mean_slot = sum as f64 / count as f64 / s as f64;
@@ -194,6 +195,7 @@ impl QueueModel {
                 * derate_factor(&self.derates, from, epoch, topology.n_edge);
             let mut link_probs = vec![0.0f64; s];
             let mut depth_series = vec![0.0f64; s];
+            let mut drop_series = vec![0.0f64; s];
             let mut q = 0.0f64;
             let mut dropped_total = 0.0f64;
             let mut served_total = 0.0f64;
@@ -218,6 +220,7 @@ impl QueueModel {
                 q = avail - served;
                 link_probs[t] = p;
                 depth_series[t] = q;
+                drop_series[t] = dropped;
                 dropped_total += dropped;
                 served_total += served;
             }
@@ -242,15 +245,25 @@ impl QueueModel {
                     per_switch[t] += d;
                 }
             }
+            if drop_series.iter().any(|&d| d > 0.0) {
+                let per_switch =
+                    drops_by_switch.entry(from).or_insert_with(|| vec![0.0; s]);
+                for (t, &d) in drop_series.iter().enumerate() {
+                    per_switch[t] += d;
+                }
+            }
         }
-        let depth = depth_by_switch
-            .into_iter()
-            .map(|(sw, series)| {
-                let max = series.iter().copied().fold(0.0, f64::max);
-                let mean = series.iter().sum::<f64>() / s as f64;
-                (sw, QueueDepthStat { max_depth: max, mean_depth: mean })
-            })
-            .collect();
+        let mut depth: BTreeMap<SwitchId, QueueDepthStat> = BTreeMap::new();
+        for (sw, series) in depth_by_switch {
+            let max = series.iter().copied().fold(0.0, f64::max);
+            let mean = series.iter().sum::<f64>() / s as f64;
+            let stat = depth.entry(sw).or_default();
+            stat.max_depth = max;
+            stat.mean_depth = mean;
+        }
+        for (sw, series) in drops_by_switch {
+            depth.entry(sw).or_default().slot_drops = series;
+        }
         QueueRealization {
             n_slots: s,
             profile: self.profile,
@@ -268,16 +281,43 @@ const MAX_TOTAL_DROP: f64 = 0.95;
 /// Salt separating the slot-seed stream from other impairment derivations.
 const QSLOT_SALT: u64 = 0x5107_7ed0;
 
-/// Queue-depth telemetry of one switch over one epoch: buffered packets
-/// summed over its loaded out-links, max and mean across the epoch's slots.
-/// This is what a real switch exports via INT/queue-occupancy counters —
-/// the controller's localizer may consume it as corroborating evidence.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Queue telemetry of one switch over one epoch: buffered packets summed
+/// over its loaded out-links (max and mean across the epoch's slots) plus
+/// the per-slot drop series. This is what a real switch exports via
+/// INT/queue-occupancy and drop counters — the controller's localizer may
+/// consume it as corroborating evidence, and the slot-resolved drop
+/// *timing* lets it tell a two-slot microburst culprit from a switch that
+/// bleeds uniformly all epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueueDepthStat {
     /// Deepest per-slot occupancy (packets).
     pub max_depth: f64,
     /// Mean per-slot occupancy (packets).
     pub mean_depth: f64,
+    /// Expected packets dropped per slot across this switch's out-links
+    /// (empty when the switch dropped nothing this epoch, or when the
+    /// exporter only provides per-epoch aggregates).
+    pub slot_drops: Vec<f64>,
+}
+
+impl QueueDepthStat {
+    /// Total expected drops this epoch (sum of the slot series).
+    pub fn drop_mass(&self) -> f64 {
+        self.slot_drops.iter().sum()
+    }
+
+    /// Temporal concentration of the drops in `[0, 1]`: the share of the
+    /// epoch's drop mass landing in the single worst slot. `1.0` means all
+    /// drops hit one slot (a microburst signature); `1/slots` means the
+    /// switch bled uniformly. `0.0` when the switch dropped nothing or no
+    /// slot series was exported.
+    pub fn drop_concentration(&self) -> f64 {
+        let mass = self.drop_mass();
+        if mass <= 0.0 {
+            return 0.0;
+        }
+        self.slot_drops.iter().copied().fold(0.0, f64::max) / mass
+    }
 }
 
 /// Exact fluid accounting of one loaded link over one epoch:
@@ -408,8 +448,31 @@ mod tests {
             "only the derated core may buffer: {:?}",
             r.depths()
         );
-        let d = r.depths()[&SwitchId { role: SwitchRole::Core, index: 0 }];
+        let d = &r.depths()[&SwitchId { role: SwitchRole::Core, index: 0 }];
         assert!(d.max_depth > 0.0 && d.mean_depth > 0.0 && d.max_depth >= d.mean_depth);
+        // The per-slot drop series agrees with the link-level accounting.
+        let link_drops: f64 = r.link_stats().values().map(|s| s.dropped).sum();
+        assert!((d.drop_mass() - link_drops).abs() <= 1e-9 * link_drops.max(1.0));
+        assert!(d.drop_concentration() > 0.0 && d.drop_concentration() <= 1.0);
+    }
+
+    #[test]
+    fn microburst_drop_timing_is_concentrated() {
+        let mut m = QueueModel::calibrated(8);
+        m.profile = ArrivalProfile::Microburst { frac: 0.6, width: 2 };
+        let r = realize(&m, 0);
+        assert!(!r.is_lossless());
+        // A two-slot burst's drops concentrate far above the uniform 1/8
+        // floor on every bleeding switch.
+        for (sw, d) in r.depths() {
+            if d.drop_mass() > 0.0 {
+                assert!(
+                    d.drop_concentration() > 0.3,
+                    "{sw:?}: burst drops must be time-concentrated, got {:?}",
+                    d.slot_drops
+                );
+            }
+        }
     }
 
     #[test]

@@ -260,6 +260,15 @@ impl Simulator {
         (self.epoch & 1) as u8
     }
 
+    /// Fast-forwards (or rewinds) the simulator to `epoch`. Every replay
+    /// path derives its randomness from `(seed, epoch)` alone, so a
+    /// simulator positioned here behaves bit-identically to one that
+    /// actually ran the preceding epochs — this is what lets a restored
+    /// streaming runtime (`chm-serve` snapshots) resume mid-stream.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Replays one epoch: every flow in `trace` sends its full packet count;
     /// packets of victim flows are dropped per `plan` (realized fresh each
     /// epoch — every victim loses at least one packet). Ingress hooks fire

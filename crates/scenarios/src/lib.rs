@@ -45,11 +45,13 @@
 
 mod matrix;
 mod runner;
+mod stream;
 
 pub use matrix::standard_matrix;
+pub use stream::EpochStream;
 pub use runner::{
-    run, run_with_config, EpochMetrics, EpochTrace, ReplayMode, ScenarioResult,
-    ScenarioStack, CFG_SALT,
+    localization_hits, run, run_with_config, EpochMetrics, EpochTrace, ReplayMode,
+    ScenarioResult, ScenarioStack, CFG_SALT,
 };
 
 use chm_netsim::impair::{ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering};

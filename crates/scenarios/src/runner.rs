@@ -14,7 +14,8 @@ use crate::Scenario;
 use chamelemon::config::DataPlaneConfig;
 use chamelemon::dataplane::Hierarchy;
 use chamelemon::{
-    CollectedGroup, Controller, EdgeDataPlane, Localization, Localizer, RuntimeConfig,
+    CollectedGroup, Controller, EdgeDataPlane, EpochEvidence, Localization, Localizer,
+    RuntimeConfig,
 };
 use chm_baselines::{FlowRadar, LossDetector, LossRadar};
 use chm_common::metrics::{average_relative_error, detection_score};
@@ -311,8 +312,17 @@ impl ScenarioStack {
             detection_score(lr_report.keys().copied(), &truth)
         };
         // LossRadar decodes victims only — it has no flowsets to exonerate
-        // with, so its localizer runs on pure victim blame.
-        let lr_loc = self.lr_localizer.observe_epoch(&lr_report, &HashMap::new());
+        // with, so its localizer runs on pure victim blame. It *does* get
+        // the same fabric queue telemetry as ChameleMon's localizer: the
+        // INT-style exports come from the switches, not from the
+        // measurement system, so a fair three-way comparison hands every
+        // track the same corroborating evidence.
+        let lr_loc = self.lr_localizer.observe_evidence(EpochEvidence {
+            loss_report: &lr_report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &report.queue_depth,
+        });
         let (lr_top1, lr_top3) = localization_hits(&report, &lr_loc);
 
         // The FlowRadar comparison track: Bloom filter + IBLT counting
@@ -326,7 +336,12 @@ impl ScenarioStack {
             let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
             detection_score(fr_report.keys().copied(), &truth)
         };
-        let fr_loc = self.fr_localizer.observe_epoch(&fr_report, &HashMap::new());
+        let fr_loc = self.fr_localizer.observe_evidence(EpochEvidence {
+            loss_report: &fr_report,
+            confidence: &HashMap::new(),
+            traffic: &HashMap::new(),
+            queue_depth: &report.queue_depth,
+        });
         let (fr_top1, fr_top3) = localization_hits(&report, &fr_loc);
 
         let truth: HashSet<FiveTuple> = report.lost.keys().copied().collect();
@@ -383,7 +398,7 @@ impl ScenarioStack {
 /// missed entirely count as localization misses — the metric couples
 /// detection and localization on purpose (an unfound victim is an
 /// unlocalized one). Epochs with no victims score 1.0.
-fn localization_hits(
+pub fn localization_hits(
     report: &EpochReport<FiveTuple>,
     loc: &Localization<FiveTuple>,
 ) -> (f64, f64) {

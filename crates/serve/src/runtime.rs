@@ -1,0 +1,448 @@
+//! **The streaming runtime** — an endless collection → decode → localize →
+//! reconfigure loop under injected control-plane faults.
+//!
+//! [`ServeRuntime::step`] serves exactly one epoch:
+//!
+//! 1. pull the epoch's workload from the [`EpochStream`] (pure in epoch);
+//! 2. replay it through the fabric and every edge data plane;
+//! 3. realize the epoch's [`EpochFaults`] and run *collection*: rebooted
+//!    switches report empty groups, lost/timed-out reports never arrive,
+//!    delayed ones pay deterministic retry backoff, duplicates are
+//!    deduplicated, and the bounded inbox drops overflow (backpressure);
+//! 4. analyze — a paused controller analyzes nothing (reports are
+//!    perishable: sketch telemetry is only meaningful inside its epoch);
+//! 5. feed the decode verdict to the [`Watchdog`]; in degraded mode the
+//!    last-known-good runtime is held instead of acting on garbage;
+//! 6. localize, stage the next runtime, flip the epoch groups, and emit
+//!    one [`EpochRecord`].
+//!
+//! Everything is a deterministic function of the serve configuration:
+//! no clocks, no ambient randomness, no iteration-order dependence. The
+//! companion [`snapshot`](ServeRuntime::snapshot)/[`restore`](ServeRuntime::restore)
+//! pair exploits that — at any epoch boundary the runtime's evolving
+//! state fits in a [`ServeSnapshot`], and a restored process reproduces
+//! the uninterrupted run's decisions and metrics byte for byte
+//! (property-tested in `tests/service.rs`).
+
+use std::collections::BTreeMap;
+
+use chamelemon::control::EpochAnalysis;
+use chamelemon::dataplane::CollectedGroup;
+use chamelemon::{
+    Controller, DataPlaneConfig, EdgeDataPlane, Hierarchy, Localization, RuntimeConfig,
+};
+use chm_common::FiveTuple;
+use chm_netsim::sim::EpochReport;
+use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
+use chm_scenarios::{localization_hits, EpochStream, ReplayMode, Scenario, CFG_SALT};
+
+use crate::fault::{EpochFaults, FaultPlan, ReportFate};
+use crate::metrics::EpochRecord;
+use crate::snapshot::ServeSnapshot;
+use crate::watchdog::{ServeState, Watchdog};
+
+/// Fixed virtual cost of one analyze + reconfigure pass (milliseconds) in
+/// the deterministic latency model.
+const DECODE_BASE_MS: f64 = 2.0;
+/// Virtual per-report collection cost (milliseconds).
+const PER_REPORT_MS: f64 = 0.25;
+
+/// Static configuration of a serve run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The workload/impairment scenario streamed endlessly.
+    pub scenario: Scenario,
+    /// The control-plane fault model.
+    pub faults: FaultPlan,
+    /// Replay mode (burst by default; per-packet for differential runs).
+    pub mode: ReplayMode,
+    /// Bounded collection inbox: at most this many reports are accepted
+    /// per epoch; `None` sizes it to the edge count (no backpressure).
+    pub inbox_capacity: Option<usize>,
+    /// Consecutive bad epochs before the watchdog degrades.
+    pub stall_threshold: u32,
+    /// Initial healthy-decode requirement to recover (strictly grows).
+    pub base_recovery: u32,
+}
+
+impl ServeConfig {
+    /// Service defaults over `scenario` and `faults`: burst replay, inbox
+    /// sized to the topology, degrade after 4 bad epochs, recover after 2
+    /// good ones (growing).
+    pub fn new(scenario: Scenario, faults: FaultPlan) -> Self {
+        ServeConfig {
+            scenario,
+            faults,
+            mode: ReplayMode::Burst,
+            inbox_capacity: None,
+            stall_threshold: 4,
+            base_recovery: 2,
+        }
+    }
+}
+
+/// Tallies of one epoch's collection step.
+#[derive(Debug, Default)]
+struct CollectionTally {
+    delivered: u32,
+    lost: u32,
+    delayed: u32,
+    timed_out: u32,
+    duplicates: u32,
+    backpressure_drops: u32,
+    reboots: u32,
+    max_backoff_ms: f64,
+}
+
+struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
+
+impl EdgeHooks<FiveTuple> for EdgeArray<'_> {
+    fn on_ingress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8) -> u8 {
+        self.0[edge].on_ingress(f, ts_bit).to_tag()
+    }
+    fn on_egress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8) {
+        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
+    }
+}
+
+impl BurstHooks<FiveTuple> for EdgeArray<'_> {
+    fn on_ingress_burst(
+        &mut self,
+        edge: usize,
+        f: &FiveTuple,
+        ts_bit: u8,
+        pkts: u64,
+    ) -> [(u8, u64); 3] {
+        self.0[edge]
+            .on_ingress_burst(f, ts_bit, pkts)
+            .map(|(h, n)| (h.to_tag(), n))
+    }
+    fn on_egress_burst(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8, delivered: u64) {
+        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
+    }
+}
+
+/// The streaming controller runtime. Build with [`new`](Self::new), drive
+/// with [`step`](Self::step), persist with [`snapshot`](Self::snapshot).
+pub struct ServeRuntime {
+    cfg: DataPlaneConfig,
+    serve: ServeConfig,
+    stream: EpochStream,
+    edges: Vec<EdgeDataPlane<FiveTuple>>,
+    controller: Controller<FiveTuple>,
+    simulator: Simulator,
+    watchdog: Watchdog,
+    last_good: RuntimeConfig,
+}
+
+impl ServeRuntime {
+    /// Builds the runtime over the scenario's topology with the scenario
+    /// engine's data-plane configuration (so serve-mode results are
+    /// comparable with the scenario matrix).
+    pub fn new(serve: ServeConfig) -> Self {
+        let s = &serve.scenario;
+        let topology = FatTree {
+            n_edge: (s.n_hosts as usize).div_ceil(2).max(2),
+            hosts_per_edge: 2,
+        };
+        let cfg = DataPlaneConfig::small(s.seed ^ CFG_SALT);
+        let runtime = RuntimeConfig::initial(&cfg);
+        let edges = (0..topology.n_edge)
+            .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
+            .collect();
+        let mut controller = Controller::new(cfg.clone());
+        controller.enable_localization(topology.clone());
+        let simulator = Simulator::new(
+            topology,
+            SimConfig { epoch_ms: 50.0, seed: s.seed ^ 0x51b },
+        );
+        let watchdog = Watchdog::new(serve.stall_threshold, serve.base_recovery);
+        let stream = EpochStream::new(s.clone());
+        ServeRuntime {
+            cfg,
+            serve,
+            stream,
+            edges,
+            controller,
+            simulator,
+            watchdog,
+            last_good: runtime,
+        }
+    }
+
+    /// The epoch [`step`](Self::step) will serve next.
+    pub fn next_epoch(&self) -> u64 {
+        self.simulator.current_epoch()
+    }
+
+    /// Current serving state (live/degraded).
+    pub fn state(&self) -> ServeState {
+        self.watchdog.state()
+    }
+
+    /// Healthy decodes currently required to leave degraded mode.
+    pub fn recovery_needed(&self) -> u32 {
+        self.watchdog.recovery_needed()
+    }
+
+    /// Serves one epoch and returns its record. See the module docs for
+    /// the pipeline.
+    pub fn step(&mut self) -> EpochRecord {
+        let epoch = self.simulator.current_epoch();
+        let config_in_effect = *self.controller.deployed_runtime();
+        let (trace, plan) = self.stream.at(epoch);
+
+        // 1. Replay through the fabric and the edge data planes.
+        let report = {
+            let mut hooks = EdgeArray(&mut self.edges);
+            match self.serve.mode {
+                ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
+                    &trace,
+                    &plan,
+                    &self.serve.scenario.impairments,
+                    &mut hooks,
+                ),
+                ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
+                    &trace,
+                    &plan,
+                    &self.serve.scenario.impairments,
+                    &mut hooks,
+                ),
+            }
+        };
+        let ts_bit = (report.epoch & 1) as u8;
+
+        // 2. Faulted collection.
+        let faults = self.serve.faults.realize(epoch, self.edges.len());
+        let (inbox, tally) = self.collect(ts_bit, config_in_effect, &faults, epoch);
+
+        // 3. Analyze. A paused controller missed the collection window:
+        //    the delivered reports perish unread (their sketches describe
+        //    an epoch whose groups are about to be recycled).
+        let analysis = if faults.controller_paused {
+            self.controller.analyze_epoch(&[])
+        } else {
+            self.controller.analyze_epoch(&inbox)
+        };
+        let blind = analysis.switches_reporting == 0;
+        let decode_ok = decode_healthy(&analysis);
+
+        // 4. Watchdog + reconfiguration. Degraded mode never acts on a
+        //    garbage decode: it re-stages the last-known-good runtime.
+        let state_after = self.watchdog.observe(!blind && decode_ok);
+        let staged = if state_after == ServeState::Degraded {
+            self.controller.hold_runtime(self.last_good);
+            self.last_good
+        } else {
+            let staged = self.controller.reconfigure(&analysis);
+            if !blind && decode_ok {
+                self.last_good = staged;
+            }
+            staged
+        };
+
+        // 5. Localization — every epoch, so the evidence tables age even
+        //    when no new blame arrives. A paused controller received no
+        //    fabric telemetry either.
+        let empty_depths = BTreeMap::new();
+        let depths = if faults.controller_paused { &empty_depths } else { &report.queue_depth };
+        let localization = self.controller.localize_with_telemetry(&analysis, depths);
+        let (loc_top1, loc_top3) = hits_or_miss(&report, localization.as_ref());
+
+        // 6. Stage + flip: the new runtime functions next epoch.
+        for e in &mut self.edges {
+            e.stage_runtime(staged);
+            e.flip(ts_bit);
+        }
+
+        // 7. Score + record.
+        let (precision, recall, f1) = score_detection(&report, &analysis);
+        let reaction_ms = if faults.clock_stalled {
+            None
+        } else {
+            Some(
+                DECODE_BASE_MS
+                    + PER_REPORT_MS * f64::from(tally.delivered + tally.delayed)
+                    + tally.max_backoff_ms,
+            )
+        };
+        EpochRecord {
+            epoch,
+            // The epoch is labeled with the state its *decision* was made
+            // in — i.e. the state after this epoch's watchdog verdict.
+            state: state_after.label(),
+            blind,
+            decode_ok,
+            delivered: tally.delivered,
+            lost: tally.lost,
+            delayed: tally.delayed,
+            timed_out: tally.timed_out,
+            duplicates: tally.duplicates,
+            backpressure_drops: tally.backpressure_drops,
+            reboots: tally.reboots,
+            paused: faults.controller_paused,
+            clock_stalled: faults.clock_stalled,
+            packets: report.total_sent(),
+            true_victims: report.lost_at.len(),
+            reported_victims: analysis.loss_report.len(),
+            precision,
+            recall,
+            f1,
+            loc_top1,
+            loc_top3,
+            m_hh: staged.partition.m_hh,
+            m_hl: staged.partition.m_hl,
+            m_ll: staged.partition.m_ll,
+            sample_rate: staged.sample_rate(),
+            reaction_ms,
+        }
+    }
+
+    /// The collection step: applies per-report fates and the bounded
+    /// inbox, returning the deduplicated reports that reached the
+    /// controller plus the tally. Rebooted switches are replaced with
+    /// factory-fresh data planes first — their report is *empty*, not
+    /// missing, which is the harder failure to survive.
+    fn collect(
+        &mut self,
+        ts_bit: u8,
+        config_in_effect: RuntimeConfig,
+        faults: &EpochFaults,
+        epoch: u64,
+    ) -> (Vec<CollectedGroup<FiveTuple>>, CollectionTally) {
+        let mut tally = CollectionTally::default();
+        let capacity = self.serve.inbox_capacity.unwrap_or(self.edges.len());
+        let mut inbox = Vec::with_capacity(capacity.min(self.edges.len()));
+        for i in 0..self.edges.len() {
+            if faults.rebooted[i] {
+                // The reboot wiped both sketch groups; the switch still
+                // answers collection — with nothing in it.
+                self.edges[i] = EdgeDataPlane::new(self.cfg.clone(), config_in_effect);
+                tally.reboots += 1;
+            }
+            let group = self.edges[i].take_group(ts_bit);
+            let arrived = match faults.fates[i] {
+                ReportFate::Delivered => {
+                    tally.delivered += 1;
+                    true
+                }
+                ReportFate::Lost => {
+                    tally.lost += 1;
+                    false
+                }
+                ReportFate::Delayed(k) => {
+                    if k <= self.serve.faults.max_retries {
+                        tally.delayed += 1;
+                        let backoff = self.serve.faults.backoff_ms(epoch, i, k);
+                        if backoff > tally.max_backoff_ms {
+                            tally.max_backoff_ms = backoff;
+                        }
+                        true
+                    } else {
+                        tally.timed_out += 1;
+                        false
+                    }
+                }
+                ReportFate::Duplicated => {
+                    // The retry raced the original: two identical copies
+                    // arrive; dedup by (switch, epoch) keeps the first and
+                    // counts the discard.
+                    tally.delivered += 1;
+                    tally.duplicates += 1;
+                    true
+                }
+            };
+            if arrived {
+                if inbox.len() < capacity {
+                    inbox.push(group);
+                } else {
+                    tally.backpressure_drops += 1;
+                }
+            }
+        }
+        (inbox, tally)
+    }
+
+    /// Captures the runtime's evolving state at the current epoch
+    /// boundary. Edge sketch state is deliberately absent: at a boundary
+    /// both groups of every edge are empty and carry the deployed
+    /// runtime, so [`restore`](Self::restore) rebuilds them exactly.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            epoch: self.simulator.current_epoch(),
+            controller: self.controller.snapshot(),
+            watchdog: self.watchdog.snapshot(),
+            last_good: self.last_good,
+        }
+    }
+
+    /// Restores a snapshot taken from a runtime with the same
+    /// [`ServeConfig`]. After this, the stream of [`step`](Self::step)
+    /// results — decisions *and* metrics bytes — is identical to the
+    /// uninterrupted run's.
+    pub fn restore(&mut self, snap: &ServeSnapshot) {
+        self.controller.restore(&snap.controller);
+        self.watchdog.restore(&snap.watchdog);
+        self.last_good = snap.last_good;
+        self.simulator.set_epoch(snap.epoch);
+        let deployed = *self.controller.deployed_runtime();
+        for e in &mut self.edges {
+            *e = EdgeDataPlane::new(self.cfg.clone(), deployed);
+        }
+    }
+}
+
+/// The decode-health verdict fed to the watchdog: every encoder that had
+/// memory must have decoded (mirrors the scenario scorer's `decode_ok`).
+fn decode_healthy(a: &EpochAnalysis<FiveTuple>) -> bool {
+    let p = a.runtime.partition;
+    a.hh_decode_ok
+        && (p.m_hl == 0 || a.hl_flowset.is_some())
+        && (p.m_ll == 0 || a.ll_flowset.is_some())
+}
+
+/// Localization hit rates; a blind epoch localizes nothing, so every
+/// ground-truth victim counts as a miss (1.0 only when there was nothing
+/// to localize).
+fn hits_or_miss(
+    report: &EpochReport<FiveTuple>,
+    loc: Option<&Localization<FiveTuple>>,
+) -> (f64, f64) {
+    match loc {
+        Some(l) => localization_hits(report, l),
+        None => {
+            let any = report
+                .lost_at
+                .keys()
+                .any(|f| report.dominant_drop_switch(f).is_some());
+            if any {
+                (0.0, 0.0)
+            } else {
+                (1.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Victim-detection precision/recall/F1 against ground truth. Epochs with
+/// neither true nor reported victims are perfect; a metric whose
+/// denominator is zero on one side only comes out 0.
+fn score_detection(
+    report: &EpochReport<FiveTuple>,
+    analysis: &EpochAnalysis<FiveTuple>,
+) -> (f64, f64, f64) {
+    let truth = &report.lost_at;
+    let reported = &analysis.loss_report;
+    if truth.is_empty() && reported.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    let tp = reported.keys().filter(|f| truth.contains_key(f)).count() as f64;
+    let precision = if reported.is_empty() { 1.0 } else { tp / reported.len() as f64 };
+    let recall = if truth.is_empty() { 1.0 } else { tp / truth.len() as f64 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    (precision, recall, f1)
+}

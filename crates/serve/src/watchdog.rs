@@ -1,0 +1,209 @@
+//! **Decode-stall watchdog** — the self-healing half of the runtime.
+//!
+//! The controller's epoch loop can go bad two ways: collections stop
+//! arriving (pauses, report loss) or they arrive but stop decoding
+//! (sketch overload after a reboot storm, pathological workload). Either
+//! way the analyses it produces are garbage, and *acting* on garbage —
+//! resizing encoders off a failed decode, thrashing thresholds — makes the
+//! next epoch worse. The watchdog watches for a run of bad epochs and
+//! flips the runtime into **degraded** mode: hold the last-known-good
+//! configuration steady, mark every epoch blind, and wait for the decode
+//! pipeline to prove itself healthy again before handing back control.
+//!
+//! Recovery is deliberately pessimistic, borrowing the strictly-growing
+//! discipline of the controller's failed-HL-size blocklist: each
+//! degradation episode raises the number of consecutive healthy decodes
+//! required to re-enter live mode. A flapping fault pattern therefore
+//! converges to long stable holds instead of oscillating — the same
+//! "never retry a configuration that just failed" instinct, applied to
+//! the control loop itself.
+
+/// The runtime's serving state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeState {
+    /// Decodes are healthy; the controller reconfigures freely.
+    Live,
+    /// Decodes are stalled; the last-known-good configuration is held.
+    Degraded,
+}
+
+impl ServeState {
+    /// Stable label for metrics streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeState::Live => "live",
+            ServeState::Degraded => "degraded",
+        }
+    }
+}
+
+/// Serializable watchdog state — everything [`Watchdog`] needs to resume
+/// bit-identically after a restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogSnapshot {
+    /// Current serving state.
+    pub degraded: bool,
+    /// Consecutive bad epochs observed (resets on any good epoch).
+    pub consecutive_bad: u32,
+    /// Consecutive good epochs observed while degraded.
+    pub consecutive_good: u32,
+    /// Healthy decodes currently required to leave degraded mode.
+    pub recovery_needed: u32,
+}
+
+/// The watchdog state machine. Feed it one verdict per epoch via
+/// [`observe`](Watchdog::observe); read the resulting state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watchdog {
+    /// Bad epochs in a row that trigger degradation.
+    stall_threshold: u32,
+    /// Recovery requirement of the *first* episode; later episodes grow it.
+    base_recovery: u32,
+    state: ServeState,
+    consecutive_bad: u32,
+    consecutive_good: u32,
+    recovery_needed: u32,
+}
+
+impl Watchdog {
+    /// A live watchdog degrading after `stall_threshold` consecutive bad
+    /// epochs and initially requiring `base_recovery` consecutive healthy
+    /// decodes to recover. Both are clamped to ≥ 1.
+    pub fn new(stall_threshold: u32, base_recovery: u32) -> Self {
+        let base = base_recovery.max(1);
+        Watchdog {
+            stall_threshold: stall_threshold.max(1),
+            base_recovery: base,
+            state: ServeState::Live,
+            consecutive_bad: 0,
+            consecutive_good: 0,
+            recovery_needed: base,
+        }
+    }
+
+    /// Current serving state.
+    pub fn state(&self) -> ServeState {
+        self.state
+    }
+
+    /// Healthy decodes currently required to leave degraded mode. Strictly
+    /// grows across degradation episodes.
+    pub fn recovery_needed(&self) -> u32 {
+        self.recovery_needed
+    }
+
+    /// Records one epoch's verdict (`healthy` = the controller produced a
+    /// usable decode this epoch) and returns the state in effect *after*
+    /// the observation — i.e. the state the next epoch starts in.
+    pub fn observe(&mut self, healthy: bool) -> ServeState {
+        match self.state {
+            ServeState::Live => {
+                if healthy {
+                    self.consecutive_bad = 0;
+                } else {
+                    self.consecutive_bad += 1;
+                    if self.consecutive_bad >= self.stall_threshold {
+                        // Degrade; the *next* recovery will demand more
+                        // than this one did (strict growth).
+                        self.state = ServeState::Degraded;
+                        self.consecutive_good = 0;
+                    }
+                }
+            }
+            ServeState::Degraded => {
+                if healthy {
+                    self.consecutive_good += 1;
+                    if self.consecutive_good >= self.recovery_needed {
+                        self.state = ServeState::Live;
+                        self.consecutive_bad = 0;
+                        self.consecutive_good = 0;
+                        self.recovery_needed += self.base_recovery;
+                    }
+                } else {
+                    self.consecutive_good = 0;
+                }
+            }
+        }
+        self.state
+    }
+
+    /// Exports the evolving state for persistence.
+    pub fn snapshot(&self) -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            degraded: self.state == ServeState::Degraded,
+            consecutive_bad: self.consecutive_bad,
+            consecutive_good: self.consecutive_good,
+            recovery_needed: self.recovery_needed,
+        }
+    }
+
+    /// Restores a snapshot onto a watchdog built with the same thresholds.
+    pub fn restore(&mut self, snap: &WatchdogSnapshot) {
+        self.state = if snap.degraded {
+            ServeState::Degraded
+        } else {
+            ServeState::Live
+        };
+        self.consecutive_bad = snap.consecutive_bad;
+        self.consecutive_good = snap.consecutive_good;
+        self.recovery_needed = snap.recovery_needed.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrades_after_threshold_and_recovers() {
+        let mut w = Watchdog::new(3, 2);
+        assert_eq!(w.observe(false), ServeState::Live);
+        assert_eq!(w.observe(false), ServeState::Live);
+        assert_eq!(w.observe(false), ServeState::Degraded);
+        // One healthy decode is not enough (base_recovery = 2).
+        assert_eq!(w.observe(true), ServeState::Degraded);
+        assert_eq!(w.observe(true), ServeState::Live);
+    }
+
+    #[test]
+    fn a_good_epoch_resets_the_stall_count() {
+        let mut w = Watchdog::new(2, 1);
+        assert_eq!(w.observe(false), ServeState::Live);
+        assert_eq!(w.observe(true), ServeState::Live);
+        assert_eq!(w.observe(false), ServeState::Live);
+        assert_eq!(w.observe(false), ServeState::Degraded);
+    }
+
+    #[test]
+    fn recovery_requirement_strictly_grows_across_episodes() {
+        let mut w = Watchdog::new(1, 2);
+        let mut last = w.recovery_needed();
+        for _ in 0..4 {
+            w.observe(false); // degrade
+            while w.state() == ServeState::Degraded {
+                w.observe(true);
+            }
+            assert!(
+                w.recovery_needed() > last,
+                "recovery requirement must strictly grow"
+            );
+            last = w.recovery_needed();
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_episode() {
+        let mut w = Watchdog::new(2, 3);
+        for verdict in [false, false, true, false, true] {
+            w.observe(verdict);
+        }
+        let snap = w.snapshot();
+        let mut fresh = Watchdog::new(2, 3);
+        fresh.restore(&snap);
+        assert_eq!(fresh, w);
+        // Both continue identically.
+        for verdict in [true, true, false, true] {
+            assert_eq!(fresh.observe(verdict), w.observe(verdict));
+        }
+    }
+}

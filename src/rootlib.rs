@@ -10,6 +10,7 @@
 //! * [`chm_workloads`] — traces, distributions, loss plans.
 //! * [`chm_netsim`] — topology, epochs, clocks, collection model.
 //! * [`chm_scenarios`] — adversarial scenario engine + golden matrix.
+//! * [`chm_serve`] — fault-injected streaming controller runtime.
 //! * [`chm_common`] — hashing, modular arithmetic, flow IDs, metrics.
 
 #![forbid(unsafe_code)]
@@ -20,5 +21,6 @@ pub use chm_common;
 pub use chm_fermat;
 pub use chm_netsim;
 pub use chm_scenarios;
+pub use chm_serve;
 pub use chm_tower;
 pub use chm_workloads;

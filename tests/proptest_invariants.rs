@@ -221,3 +221,50 @@ fn fingerprints_never_hurt_decode() {
         "fp {fp_successes} < plain {plain_successes}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Service-mode invariant: dropped reports never regress the deployed config.
+// ---------------------------------------------------------------------------
+
+use chm_serve::{FaultPlan, ServeConfig, ServeRuntime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The strict-growth control-plane invariant, end to end: under ANY
+    /// prefix of dropped/paused reports, a blind epoch (controller
+    /// analyzed nothing) never changes the deployed configuration — the
+    /// controller holds what it has rather than resetting or thrashing.
+    /// Losing telemetry must never *undo* a reconfiguration decision.
+    #[test]
+    fn dropped_report_prefixes_never_regress_deployed_config(
+        seed in 0u64..1_000,
+        report_loss in 0.0f64..1.0,
+        pause in 0.0f64..0.6,
+    ) {
+        let scenario = chm_scenarios::Scenario::builder("prop_drop")
+            .seed(seed)
+            .flows(150)
+            .build();
+        let faults = FaultPlan {
+            report_loss,
+            pause,
+            ..FaultPlan::none(seed)
+        };
+        let mut rt = ServeRuntime::new(ServeConfig::new(scenario, faults));
+        let mut prev: Option<(usize, usize, usize, f64)> = None;
+        for _ in 0..12 {
+            let r = rt.step();
+            let staged = (r.m_hh, r.m_hl, r.m_ll, r.sample_rate);
+            if r.blind {
+                if let Some(p) = prev {
+                    prop_assert_eq!(
+                        staged, p,
+                        "blind epoch {} changed the deployed config", r.epoch
+                    );
+                }
+            }
+            prev = Some(staged);
+        }
+    }
+}
