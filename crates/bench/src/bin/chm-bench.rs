@@ -4,6 +4,7 @@
 //! chm-bench perf [--quick] [--out <dir>]
 //! chm-bench scenarios [--quick] [--per-packet] [--out <dir>]
 //!                     [--seeds <n>] [--check <golden.json>]
+//!                     [--topology-sweep]
 //! chm-bench soak [--quick] [--epochs <n>] [--seed <s>]
 //!                [--profile none|standard|stress] [--out <dir>]
 //! ```
@@ -28,10 +29,17 @@
 //! `--check <golden.json>` is the CI threshold gate: exit 1 when any
 //! scenario's mean F1 or localization top-3 hit rate regressed more than
 //! the tolerance vs the committed golden.
+//!
+//! `--topology-sweep` swaps the adversarial matrix for the topology zoo:
+//! one congestion-coupled scenario per fabric (testbed, k-ary fat-trees,
+//! leaf-spines, Abilene WAN), written to `results/TOPOLOGY_SWEEP.json`
+//! (see `chm_bench::sweep`). `--quick`, `--out`, `--per-packet`, and
+//! `--check` compose; `--seeds` applies to the matrix only.
 
 use chm_bench::perf::{self, PerfConfig};
 use chm_bench::scenarios;
 use chm_bench::soak::{self, SoakConfig};
+use chm_bench::sweep;
 use chm_scenarios::ReplayMode;
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -70,7 +78,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: chm-bench perf [--quick] [--out <dir>]\n       \
          chm-bench scenarios [--quick] [--per-packet] [--out <dir>] \
-         [--seeds <n>] [--check <golden.json>]\n       \
+         [--seeds <n>] [--check <golden.json>] [--topology-sweep]\n       \
          chm-bench soak [--quick] [--epochs <n>] [--seed <s>] \
          [--profile none|standard|stress] [--out <dir>]"
     );
@@ -116,11 +124,13 @@ fn main() {
             let mut out_dir = "results".to_string();
             let mut n_seeds = 1usize;
             let mut check: Option<String> = None;
+            let mut topology_sweep = false;
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--quick" => quick = true,
                     "--per-packet" => mode = ReplayMode::PerPacket,
+                    "--topology-sweep" => topology_sweep = true,
                     "--out" => match it.next() {
                         Some(d) => out_dir = d.clone(),
                         None => usage(),
@@ -151,6 +161,44 @@ fn main() {
                     }
                 }
             });
+            if topology_sweep {
+                let run = sweep::run_sweep(quick, mode);
+                sweep::print_table(&run);
+                if let Err(e) = sweep::write_json(&run, quick, &out_dir) {
+                    eprintln!(
+                        "error: could not write {out_dir}/TOPOLOGY_SWEEP.json: {e}"
+                    );
+                    std::process::exit(1);
+                }
+                let worst = run
+                    .rows
+                    .iter()
+                    .min_by(|a, b| a.1.mean_f1.total_cmp(&b.1.mean_f1))
+                    .expect("sweep roster is non-empty");
+                eprintln!(
+                    "\n{} fabrics; worst mean F1 {:.4} ({}); \
+                     json: {out_dir}/TOPOLOGY_SWEEP.json",
+                    run.rows.len(),
+                    worst.1.mean_f1,
+                    worst.0.name,
+                );
+                if let Some((golden_path, golden)) = golden {
+                    let problems = sweep::check_sweep(&golden, &run);
+                    if problems.is_empty() {
+                        eprintln!(
+                            "threshold gate vs {golden_path}: OK (tolerance {})",
+                            scenarios::CHECK_TOLERANCE
+                        );
+                    } else {
+                        eprintln!("threshold gate vs {golden_path} FAILED:");
+                        for p in &problems {
+                            eprintln!("  {p}");
+                        }
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
             let run = scenarios::run_matrix_seeds(quick, mode, n_seeds);
             scenarios::print_table(&run);
             if let Err(e) = scenarios::write_json(&run, quick, &out_dir) {

@@ -21,6 +21,7 @@ pub mod report;
 pub mod scenarios;
 #[allow(clippy::disallowed_methods)]
 pub mod soak;
+pub mod sweep;
 
 pub use lossdet::{min_memory_for_success, FermatLossBench, FlowRadarLossBench, LossBench, LossRadarLossBench, LossScenario};
 pub use parallel::{run_trials, run_trials_all, run_trials_with};

@@ -23,7 +23,7 @@ use chm_common::hash::PairwiseHash;
 use chm_common::FlowId;
 use chm_fermat::{DecodeScratch, FermatSketch};
 use chm_netsim::sim::Routable;
-use chm_netsim::{FatTree, QueueDepthStat, SwitchId};
+use chm_netsim::{QueueDepthStat, SwitchId, Topology};
 use chm_tower::MracConfig;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -194,7 +194,7 @@ impl<F: FlowId> Controller<F> {
 
     /// Gives the controller the fabric topology, enabling the per-epoch
     /// victim-localization pass ([`localize`](Self::localize)).
-    pub fn enable_localization(&mut self, topology: FatTree) {
+    pub fn enable_localization(&mut self, topology: impl Into<Topology>) {
         self.localizer = Some(Localizer::new(topology));
     }
 
@@ -889,6 +889,7 @@ pub fn threshold_for_target(dist: &[f64], n_flows: f64, target_count: f64) -> u6
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chm_netsim::FatTree;
 
     #[test]
     fn threshold_for_target_basics() {
@@ -948,7 +949,7 @@ mod tests {
 
     #[test]
     fn snapshot_carries_localizer_tables() {
-        let topo = FatTree { n_edge: 2, hosts_per_edge: 2 };
+        let topo = FatTree::new(2, 2);
         let cfg = DataPlaneConfig::small(7);
         let mut c: Controller<u64> = Controller::new(cfg.clone());
         c.enable_localization(topo.clone());

@@ -57,7 +57,7 @@ pub use localize::{
     EpochEvidence, Localization, Localizer, LocalizerSnapshot, PARTIAL_DECODE_CONFIDENCE,
 };
 
-use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
+use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator, Topology};
 use chm_netsim::sim::{EpochReport, Routable};
 use chm_workloads::{LossPlan, Trace};
 
@@ -127,10 +127,12 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
         Self::new(cfg, FatTree::testbed(), SimConfig::default())
     }
 
-    /// Builds a deployment over an arbitrary topology.
-    pub fn new(cfg: DataPlaneConfig, topology: FatTree, sim: SimConfig) -> Self {
+    /// Builds a deployment over an arbitrary topology (one edge data plane
+    /// per edge switch of the fabric).
+    pub fn new(cfg: DataPlaneConfig, topology: impl Into<Topology>, sim: SimConfig) -> Self {
+        let topology = topology.into();
         let runtime = RuntimeConfig::initial(&cfg);
-        let edges = (0..topology.n_edge)
+        let edges = (0..topology.n_edges())
             .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
             .collect();
         ChameleMon {

@@ -36,7 +36,7 @@
 //! ranking — are a pure function of the epoch sequence.
 
 use chm_netsim::sim::Routable;
-use chm_netsim::{FatTree, QueueDepthStat, SwitchId};
+use chm_netsim::{QueueDepthStat, SwitchId, Topology};
 use std::collections::{BTreeMap, HashMap};
 
 /// Default per-epoch decay of accumulated blame.
@@ -99,7 +99,7 @@ impl<F: Routable> Localization<F> {
 /// Cross-epoch per-switch blame/transit accumulator (see module docs).
 #[derive(Debug, Clone)]
 pub struct Localizer {
-    topology: FatTree,
+    topology: Topology,
     blame: BTreeMap<SwitchId, f64>,
     transit: BTreeMap<SwitchId, f64>,
     /// Current-epoch telemetry boost per switch (normalized mean queue
@@ -111,9 +111,9 @@ pub struct Localizer {
 
 impl Localizer {
     /// A localizer over `topology` with the default [`BLAME_DECAY`].
-    pub fn new(topology: FatTree) -> Self {
+    pub fn new(topology: impl Into<Topology>) -> Self {
         Localizer {
-            topology,
+            topology: topology.into(),
             blame: BTreeMap::new(),
             transit: BTreeMap::new(),
             telemetry: BTreeMap::new(),
@@ -325,7 +325,7 @@ pub struct LocalizerSnapshot {
 mod tests {
     use super::*;
     use chm_common::FiveTuple;
-    use chm_netsim::SwitchRole;
+    use chm_netsim::{FatTree, SwitchRole};
     use chm_workloads::trace::host_ip;
 
     fn flow(src: u32, dst: u32, port: u16) -> FiveTuple {

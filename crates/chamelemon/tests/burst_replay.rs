@@ -44,7 +44,7 @@ fn edges(cfg: &DataPlaneConfig, rt: &RuntimeConfig, n: usize) -> Edges {
 #[test]
 fn burst_replay_is_byte_identical_to_per_packet_replay() {
     let topo = FatTree::testbed();
-    let n_edges = topo.n_edge;
+    let n_edges = topo.n_edge();
     let cfg = DataPlaneConfig::small(0xb0b0);
     // Exercise every hierarchy: thresholds that split flows across LL/HL/HH
     // and a sample rate below 1.
@@ -95,7 +95,7 @@ fn impaired_burst_replay_is_byte_identical_to_per_packet_replay() {
     // the impairment layer lives above the hook boundary, so the scenario
     // replay paths consult one per-flow realization and stay identical.
     let topo = FatTree::testbed();
-    let n_edges = topo.n_edge;
+    let n_edges = topo.n_edge();
     let cfg = DataPlaneConfig::small(0xb1b1);
     let mut rt = RuntimeConfig::initial(&cfg);
     rt.partition = chamelemon::Partition { m_hh: 256, m_hl: 192, m_ll: 64 };

@@ -22,7 +22,7 @@
 //! full-size workloads.
 
 use crate::sim::Routable;
-use crate::topology::{FatTree, SwitchId, SwitchRole};
+use crate::topology::{SwitchId, SwitchRole, Topology};
 use chm_workloads::Trace;
 use std::collections::{BTreeMap, HashMap};
 
@@ -110,14 +110,14 @@ impl CongestionModel {
     /// identical inputs and get identical probabilities.
     pub fn realize<F: Routable>(
         &self,
-        topology: &FatTree,
+        topology: &Topology,
         trace: &Trace<F>,
         epoch: u64,
     ) -> CongestionRealization {
         // Offered load per link, in packets (integer accumulation: the sum
         // is order-independent, so a HashMap is safe here).
         let mut loads: HashMap<LinkId, u64> = HashMap::new();
-        let mut route = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(topology.max_hops());
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             topology.route_into(src, dst, f.key64(), &mut route);
@@ -144,7 +144,7 @@ impl CongestionModel {
             let (sum, count) = class_sum[&(from.role, link_class_to(to))];
             let mean = sum as f64 / count as f64;
             let capacity =
-                self.headroom * mean * self.derate_factor(from, epoch, topology.n_edge);
+                self.headroom * mean * self.derate_factor(from, epoch, topology.n_edges());
             if capacity <= 0.0 {
                 probs.insert((from, to), self.max_drop);
                 continue;
@@ -233,11 +233,12 @@ impl CongestionRealization {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::FatTree;
     use chm_common::FlowId;
     use chm_workloads::{testbed_trace, WorkloadKind};
 
     fn realize(model: &CongestionModel, epoch: u64) -> CongestionRealization {
-        let topo = FatTree::testbed();
+        let topo: Topology = FatTree::testbed().into();
         let trace = testbed_trace(WorkloadKind::Dctcp, 800, 8, 42);
         model.realize(&topo, &trace, epoch)
     }
@@ -300,7 +301,7 @@ mod tests {
             index: 1,
             factor: 0.2,
         });
-        let topo = FatTree::testbed();
+        let topo: Topology = FatTree::testbed().into();
         let trace = testbed_trace(WorkloadKind::Dctcp, 800, 8, 42);
         let r = m.realize(&topo, &trace, 0);
         let mut probs = Vec::new();

@@ -7,8 +7,10 @@
 //! traverses and (b) whether it is dropped in between. This crate models
 //! exactly that:
 //!
-//! * [`topology`] — the fat-tree wiring (4 edge, 4 aggregation, 2 core
-//!   switches; 8 hosts), ECMP routing, and hop counting;
+//! * [`topology`] — the topology zoo: the [`Fabric`] contract (routes, hop
+//!   counts, link enumeration, role-tagged switch ids) behind the
+//!   [`Topology`] enum, with the §5.2 testbed fat-tree, parameterized k-ary
+//!   fat-trees, leaf-spine, and imported WAN graphs;
 //! * [`clock`] — per-switch clock offsets with NTP-grade precision and the
 //!   1-bit epoch timestamp logic of Appendix B;
 //! * [`collect`] — the collection cost model of Appendix D.2/F (per-sketch
@@ -52,4 +54,6 @@ pub use impair::{
 pub use collect::CollectionModel;
 pub use queue::{QueueDepthStat, QueueLinkStats, QueueModel, QueueRealization, RedDrop};
 pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};
-pub use topology::{FatTree, SwitchId, SwitchRole};
+pub use topology::{
+    Fabric, FatTree, KaryFatTree, LeafSpine, SwitchId, SwitchRole, Topology, WanGraph,
+};

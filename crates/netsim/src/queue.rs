@@ -60,7 +60,7 @@
 
 use crate::congestion::{derate_factor, link_class_to, Derate};
 use crate::sim::Routable;
-use crate::topology::{FatTree, SwitchId, SwitchRole};
+use crate::topology::{SwitchId, SwitchRole, Topology};
 use chm_common::hash::mix64;
 use chm_workloads::{ArrivalProfile, Trace};
 use std::collections::{BTreeMap, HashMap};
@@ -145,7 +145,7 @@ impl QueueModel {
     /// function of `(self, topology, trace, epoch, seed)`.
     pub fn realize<F: Routable>(
         &self,
-        topology: &FatTree,
+        topology: &Topology,
         trace: &Trace<F>,
         epoch: u64,
         seed: u64,
@@ -156,7 +156,7 @@ impl QueueModel {
         // order-independent, so a HashMap is safe here (as in the static
         // model's load accounting).
         let mut arrivals: HashMap<LinkId, Vec<u64>> = HashMap::new();
-        let mut route = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(topology.max_hops());
         let mut counts = Vec::with_capacity(s);
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
@@ -192,7 +192,7 @@ impl QueueModel {
             let mean_slot = sum as f64 / count as f64 / s as f64;
             let service = self.headroom
                 * mean_slot
-                * derate_factor(&self.derates, from, epoch, topology.n_edge);
+                * derate_factor(&self.derates, from, epoch, topology.n_edges());
             let mut link_probs = vec![0.0f64; s];
             let mut depth_series = vec![0.0f64; s];
             let mut drop_series = vec![0.0f64; s];
@@ -413,11 +413,12 @@ impl QueueRealization {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::FatTree;
     use chm_common::FlowId;
     use chm_workloads::{testbed_trace, WorkloadKind};
 
     fn realize(model: &QueueModel, epoch: u64) -> QueueRealization {
-        let topo = FatTree::testbed();
+        let topo: Topology = FatTree::testbed().into();
         let trace = testbed_trace(WorkloadKind::Dctcp, 800, 8, 42);
         model.realize(&topo, &trace, epoch, 0x1234)
     }
@@ -561,7 +562,7 @@ mod tests {
             index: 1,
             factor: 0.2,
         });
-        let topo = FatTree::testbed();
+        let topo: Topology = FatTree::testbed().into();
         let trace = testbed_trace(WorkloadKind::Dctcp, 800, 8, 42);
         let r = m.realize(&topo, &trace, 0, 0x1234);
         let mut probs = Vec::new();

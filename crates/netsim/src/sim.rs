@@ -1,12 +1,12 @@
-//! The packet loop: replays a trace through the fat-tree, epoch by epoch,
+//! The packet loop: replays a trace through the fabric, epoch by epoch,
 //! invoking measurement hooks at the ingress and egress edge switches and
 //! applying the loss plan in between — the software equivalent of the §5.2
 //! testbed run (DPDK senders, proactive ECN drops, ChameleMon on all four
-//! ToR switches).
+//! ToR switches), generalized to any [`Topology`] in the zoo.
 
 use crate::impair::{hash_hop, FabricFates, ImpairmentSet, LinkLoss};
 use crate::queue::QueueDepthStat;
-use crate::topology::{FatTree, SwitchId};
+use crate::topology::{SwitchId, Topology};
 use chm_common::{FiveTuple, FlowId};
 use chm_workloads::trace::ip_host;
 use chm_workloads::{LossPlan, Trace};
@@ -234,20 +234,21 @@ fn attribute_fates<F: Copy + Eq + Hash>(
     lost_at.insert(*f, at);
 }
 
-/// The testbed simulator.
+/// The fabric simulator.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    /// The fat-tree wiring.
-    pub topology: FatTree,
+    /// The fabric wiring.
+    pub topology: Topology,
     /// Simulation parameters.
     pub config: SimConfig,
     epoch: u64,
 }
 
 impl Simulator {
-    /// Creates a simulator over `topology`.
-    pub fn new(topology: FatTree, config: SimConfig) -> Self {
-        Simulator { topology, config, epoch: 0 }
+    /// Creates a simulator over `topology` (any [`Topology`], or a bare
+    /// fabric like [`FatTree`](crate::topology::FatTree) via `Into`).
+    pub fn new(topology: impl Into<Topology>, config: SimConfig) -> Self {
+        Simulator { topology: topology.into(), config, epoch: 0 }
     }
 
     /// The epoch index about to run.
@@ -286,25 +287,25 @@ impl Simulator {
         let mut dropped_at = BTreeMap::new();
         let mut lost_at = HashMap::new();
         let mut hops_histogram = BTreeMap::new();
-        let mut route = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(self.topology.max_hops());
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
             let out_edge = self.topology.edge_of_host(dst);
-            *hops_histogram.entry(self.topology.hops(src, dst, f.key64())).or_insert(0) +=
-                pkts;
+            // Hop counts are definitionally the route length; the route
+            // lands in a reusable buffer, so this stays allocation-free.
+            self.topology.route_into(src, dst, f.key64(), &mut route);
+            *hops_histogram.entry(route.len()).or_insert(0) += pkts;
             let n_lost = lost.get(&f).copied().unwrap_or(0);
             if n_lost == 0 {
                 // Lossless fast path — the overwhelmingly common case (most
-                // flows are not victims): skip the per-packet drop test and
-                // never materialize a route.
+                // flows are not victims): skip the per-packet drop test.
                 for _ in 0..pkts {
                     let tag = hooks.on_ingress(in_edge, &f, ts_bit);
                     hooks.on_egress(out_edge, &f, ts_bit, tag);
                 }
                 continue;
             }
-            self.topology.route_into(src, dst, f.key64(), &mut route);
             attribute_spread(
                 &f,
                 f.key64(),
@@ -358,16 +359,17 @@ impl Simulator {
         let mut dropped_at = BTreeMap::new();
         let mut lost_at = HashMap::new();
         let mut hops_histogram = BTreeMap::new();
-        let mut route = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(self.topology.max_hops());
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
             let out_edge = self.topology.edge_of_host(dst);
-            *hops_histogram.entry(self.topology.hops(src, dst, f.key64())).or_insert(0) +=
-                pkts;
+            // Hop counts are definitionally the route length (reused
+            // buffer, allocation-free).
+            self.topology.route_into(src, dst, f.key64(), &mut route);
+            *hops_histogram.entry(route.len()).or_insert(0) += pkts;
             let n_lost = lost.get(&f).copied().unwrap_or(0);
             if n_lost > 0 {
-                self.topology.route_into(src, dst, f.key64(), &mut route);
                 attribute_spread(
                     &f,
                     f.key64(),
@@ -451,31 +453,29 @@ impl Simulator {
         let mut lost_at = HashMap::new();
         let mut hops_histogram = BTreeMap::new();
         let mut fates = FabricFates::default();
-        let mut route = Vec::with_capacity(5);
-        let mut hop_probs = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(self.topology.max_hops());
+        let mut hop_probs = Vec::with_capacity(self.topology.max_hops());
         let mut slot_counts = Vec::new();
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
             let out_edge = self.topology.edge_of_host(dst);
-            // Route materialization is lazy, as in the clean paths: only
-            // link-level loss (per-hop probabilities) and attribution (a
-            // flow that lost packets) need the actual switches — the
-            // histogram and the fates realization need just the length.
+            // The route lands in a reusable buffer (allocation-free); its
+            // length is the hop count by definition, and the link-level
+            // loss layers read their per-hop probabilities off it.
             hop_probs.clear();
+            self.topology.route_into(src, dst, f.key64(), &mut route);
             let route_len = match (&queue, &cong) {
                 (Some(q), _) => {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
                     q.hop_slot_probs(&route, dst, &mut hop_probs);
                     q.flow_slot_counts(f.key64(), pkts, &mut slot_counts);
                     route.len()
                 }
                 (None, Some(c)) => {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
                     c.hop_probs(&route, dst, &mut hop_probs);
                     route.len()
                 }
-                (None, None) => self.topology.hops(src, dst, f.key64()),
+                (None, None) => route.len(),
             };
             *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
@@ -512,9 +512,6 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
-                if queue.is_none() && cong.is_none() {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
-                }
                 attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
             }
         }
@@ -570,29 +567,28 @@ impl Simulator {
         let mut lost_at = HashMap::new();
         let mut hops_histogram = BTreeMap::new();
         let mut fates = FabricFates::default();
-        let mut route = Vec::with_capacity(5);
-        let mut hop_probs = Vec::with_capacity(5);
+        let mut route = Vec::with_capacity(self.topology.max_hops());
+        let mut hop_probs = Vec::with_capacity(self.topology.max_hops());
         let mut slot_counts = Vec::new();
         for &(f, pkts) in &trace.flows {
             let (src, dst) = (f.src_host(), f.dst_host());
             let in_edge = self.topology.edge_of_host(src);
             let out_edge = self.topology.edge_of_host(dst);
-            // Lazy route materialization — identical policy to the
-            // per-packet scenario path, so attribution stays byte-equal.
+            // Reused route buffer — identical policy to the per-packet
+            // scenario path, so attribution stays byte-equal.
             hop_probs.clear();
+            self.topology.route_into(src, dst, f.key64(), &mut route);
             let route_len = match (&queue, &cong) {
                 (Some(q), _) => {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
                     q.hop_slot_probs(&route, dst, &mut hop_probs);
                     q.flow_slot_counts(f.key64(), pkts, &mut slot_counts);
                     route.len()
                 }
                 (None, Some(c)) => {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
                     c.hop_probs(&route, dst, &mut hop_probs);
                     route.len()
                 }
-                (None, None) => self.topology.hops(src, dst, f.key64()),
+                (None, None) => route.len(),
             };
             *hops_histogram.entry(route_len).or_insert(0) += pkts;
             let n_lost = base_lost.get(&f).copied().unwrap_or(0);
@@ -636,9 +632,6 @@ impl Simulator {
             delivered.insert(f, del);
             if del < pkts {
                 lost.insert(f, pkts - del);
-                if queue.is_none() && cong.is_none() {
-                    self.topology.route_into(src, dst, f.key64(), &mut route);
-                }
                 attribute_fates(&f, &route, &fates, &mut dropped_at, &mut lost_at);
             }
         }
@@ -667,6 +660,7 @@ impl Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::FatTree;
     use chm_workloads::{testbed_trace, VictimSelection, WorkloadKind};
 
     /// Hooks that just count calls per edge.

@@ -1,9 +1,10 @@
-//! Property tests of the fat-tree: every ECMP route is valid wiring, hop
-//! counts follow pod locality, intra-rack flows never leave their ToR, and
-//! the spread-drop rule is exact at every cut.
+//! Property tests of the topology zoo: every ECMP route is valid wiring,
+//! hop counts follow pod locality and are definitionally the route length,
+//! intra-rack flows never leave their ToR, the spread-drop rule is exact at
+//! every cut, and the loss generators conserve on every generated fabric.
 
 use chm_netsim::sim::{spread_drop, spread_drop_prefix};
-use chm_netsim::{FatTree, SwitchId, SwitchRole};
+use chm_netsim::{FatTree, SwitchId, SwitchRole, Topology};
 use proptest::prelude::*;
 
 /// Checks one route end to end: endpoint correctness, wiring validity
@@ -47,7 +48,7 @@ fn check_route(t: &FatTree, src: usize, dst: usize, key: u64) -> Result<(), Test
             prop_assert_eq!(r[3].role, SwitchRole::Aggregation);
             prop_assert_eq!(r[1].index / 2, sp, "up-agg must sit in the source pod");
             prop_assert_eq!(r[3].index / 2, dp, "down-agg must sit in the dest pod");
-            prop_assert!(r[2].index < t.n_edge / 2, "core index in range");
+            prop_assert!(r[2].index < t.n_cores(), "core index in range");
             // Fat-tree wiring: the chosen core pins the agg parity in both
             // pods.
             prop_assert_eq!(r[1].index % 2, r[2].index % 2);
@@ -82,7 +83,7 @@ proptest! {
         pair in any::<u64>(),
         key in any::<u64>(),
     ) {
-        let t = FatTree { n_edge: 2 * n_edge_half, hosts_per_edge };
+        let t = FatTree::new(2 * n_edge_half, hosts_per_edge);
         let n = t.n_hosts() as u64;
         let src = (pair % n) as usize;
         let dst = ((pair / n) % n) as usize;
@@ -168,7 +169,7 @@ mod queue {
                     max_prob: 0.3,
                 });
             }
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Dctcp, 400, 8, seed ^ 0xAB);
             let r = m.realize(&topo, &trace, epoch, seed);
             prop_assert!(!r.link_stats().is_empty(), "a derated switch must drop");
@@ -195,7 +196,7 @@ mod queue {
             factor in 0.25f64..0.55,
         ) {
             let derate = Derate::Switch { role: SwitchRole::Core, index, factor };
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Dctcp, 500, 8, seed ^ 0xCD);
 
             let stat = CongestionModel {
@@ -258,7 +259,7 @@ mod queue {
         #[test]
         fn flat_load_below_knee_is_clean(seed in any::<u64>(), epoch in 0u64..4) {
             let m = QueueModel::calibrated(8);
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Dctcp, 600, 8, seed ^ 0xEF);
             let r = m.realize(&topo, &trace, epoch, seed);
             prop_assert!(r.is_lossless(), "hot links: {:?}", r.hot_links());
@@ -290,7 +291,7 @@ mod queue {
                 queue: Some(m),
                 ..chm_netsim::ImpairmentSet::none()
             };
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Vl2, 300, 8, seed ^ 0x33);
             let plan = chm_workloads::LossPlan::build(
                 &trace,
@@ -346,7 +347,7 @@ mod fabric {
         }
     }
 
-    pub fn check_attribution(report: &EpochReport<FiveTuple>, topo: &FatTree) {
+    pub fn check_attribution(report: &EpochReport<FiveTuple>, topo: &Topology) {
         // Conservation: every lost packet is attributed exactly once,
         // fabric-wide and per victim.
         assert_eq!(report.total_attributed(), report.lost.values().sum::<u64>());
@@ -375,7 +376,7 @@ mod fabric {
         ) {
             let role = [SwitchRole::Edge, SwitchRole::Aggregation, SwitchRole::Core][layer];
             let imp = congested_imp(seed, Derate::Switch { role, index, factor });
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Dctcp, 300, 8, seed ^ 0x77);
             let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.05), 0.05, seed);
             let mut sim = Simulator::new(topo.clone(), SimConfig { epoch_ms: 50.0, seed });
@@ -401,7 +402,7 @@ mod fabric {
                 index,
                 factor: 0.15,
             };
-            let topo = FatTree::testbed();
+            let topo: Topology = FatTree::testbed().into();
             let trace = testbed_trace(WorkloadKind::Dctcp, 400, 8, seed ^ 0x99);
             let culprit = SwitchId { role: SwitchRole::Core, index };
             let mut drops = [0u64; 2];
@@ -427,6 +428,177 @@ mod fabric {
                 derated > 3 * control.max(1),
                 "0.15x derate must multiply the core's drops: {derated} vs control {control}"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The topology zoo: the Fabric contract holds on every generated fabric —
+// endpoints, hop-locality bounds, the definitional hops == route.len()
+// equality, full ECMP spread, and conservation of the congestion-coupled
+// replay on leaf-spine and the WAN graph.
+// ---------------------------------------------------------------------------
+
+mod zoo {
+    use super::*;
+    use chm_netsim::{
+        CongestionModel, Derate, ImpairmentSet, KaryFatTree, LeafSpine, SimConfig,
+        Simulator, WanGraph,
+    };
+    use chm_workloads::{testbed_trace, LossPlan, VictimSelection, WorkloadKind};
+    use std::collections::HashSet;
+
+    /// Every fabric the sweep scores, one of each family.
+    fn zoo() -> Vec<Topology> {
+        vec![
+            FatTree::testbed().into(),
+            FatTree::new(8, 3).into(),
+            KaryFatTree::new(4).into(),
+            KaryFatTree::new(8).into(),
+            LeafSpine::new(8, 4, 2).into(),
+            LeafSpine::new(6, 3, 4).into(),
+            WanGraph::abilene(2).into(),
+        ]
+    }
+
+    /// The generic route contract: starts at the source's edge, ends at the
+    /// destination's edge, stays within the fabric's hop bound, repeats
+    /// deterministically, and `hops` IS the route length.
+    fn check_generic_route(
+        t: &Topology,
+        src: usize,
+        dst: usize,
+        key: u64,
+    ) -> Result<(), TestCaseError> {
+        let r = t.route(src, dst, key);
+        prop_assert_eq!(
+            r.first().map(|s| s.index),
+            Some(t.edge_of_host(src)),
+            "route must start at the source edge ({})", t.kind()
+        );
+        prop_assert_eq!(
+            r.last().map(|s| s.index),
+            Some(t.edge_of_host(dst)),
+            "route must end at the destination edge ({})", t.kind()
+        );
+        prop_assert!(r.first().unwrap().role == SwitchRole::Edge);
+        prop_assert!(r.last().unwrap().role == SwitchRole::Edge);
+        prop_assert!(
+            !r.is_empty() && r.len() <= t.max_hops(),
+            "{}: hop-locality bound violated ({} hops, max {})",
+            t.kind(), r.len(), t.max_hops()
+        );
+        if t.edge_of_host(src) == t.edge_of_host(dst) {
+            prop_assert_eq!(r.len(), 1, "same-edge flows never leave the ToR");
+        }
+        // The definitional equality the old closed-form `hops` drifted from.
+        prop_assert_eq!(t.hops(src, dst, key), r.len());
+        // Every switch on the route actually exists in the fabric.
+        for s in &r {
+            prop_assert!(
+                s.index < t.n_switches(),
+                "{}: switch index {} out of range", t.kind(), s.index
+            );
+        }
+        prop_assert_eq!(r, t.route(src, dst, key), "ECMP must be deterministic");
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The route contract holds for every fabric in the zoo, any host
+        /// pair, any flow key.
+        #[test]
+        fn routes_are_valid_on_every_fabric(
+            pair in any::<u64>(),
+            key in any::<u64>(),
+        ) {
+            for t in zoo() {
+                let n = t.n_hosts() as u64;
+                let src = (pair % n) as usize;
+                let dst = ((pair / n) % n) as usize;
+                check_generic_route(&t, src, dst, key)?;
+            }
+        }
+
+        /// Congestion-coupled replay conserves and attributes on-route on
+        /// leaf-spine and the WAN graph — the fabrics whose wiring the
+        /// static model never saw before the zoo.
+        #[test]
+        fn congestion_conserves_on_leaf_spine_and_wan(seed in any::<u64>()) {
+            let fabrics: Vec<(Topology, Derate)> = vec![
+                (
+                    LeafSpine::new(8, 4, 2).into(),
+                    Derate::Switch { role: SwitchRole::Core, index: 0, factor: 0.3 },
+                ),
+                (
+                    WanGraph::abilene(2).into(),
+                    Derate::Switch { role: SwitchRole::Edge, index: 5, factor: 0.3 },
+                ),
+            ];
+            for (topo, derate) in fabrics {
+                let imp = ImpairmentSet {
+                    seed,
+                    congestion: Some(CongestionModel {
+                        derates: vec![derate],
+                        ..CongestionModel::calibrated()
+                    }),
+                    ..ImpairmentSet::none()
+                };
+                let trace = testbed_trace(
+                    WorkloadKind::Dctcp, 300, topo.n_hosts() as u32, seed ^ 0x2200);
+                let plan = LossPlan::build(
+                    &trace, VictimSelection::RandomRatio(0.05), 0.05, seed);
+                let mut sim =
+                    Simulator::new(topo.clone(), SimConfig { epoch_ms: 50.0, seed });
+                for _ in 0..2 {
+                    let r = sim.run_epoch_scenario(&trace, &plan, &imp, &mut fabric::Null);
+                    fabric::check_attribution(&r, &topo);
+                }
+            }
+        }
+    }
+
+    /// ECMP must use *all* parallel cores of a k-ary fat-tree and all
+    /// spines of a leaf-spine — a fabric with idle parallel paths would
+    /// silently undersample the wiring the localizer has to exonerate.
+    #[test]
+    fn ecmp_covers_every_parallel_path() {
+        let kary = KaryFatTree::new(8);
+        let t: Topology = kary.clone().into();
+        let mut cores = HashSet::new();
+        // Cross-pod pair: host 0 (pod 0) to the last host (pod 7).
+        for key in 0..4096u64 {
+            let r = t.route(0, t.n_hosts() - 1, key);
+            cores.insert(r[2].index);
+        }
+        assert_eq!(cores.len(), kary.n_cores(), "all 16 cores must carry flows");
+
+        let ls: Topology = LeafSpine::new(8, 4, 2).into();
+        let mut spines = HashSet::new();
+        for key in 0..1024u64 {
+            let r = ls.route(0, ls.n_hosts() - 1, key);
+            spines.insert(r[1].index);
+        }
+        assert_eq!(spines.len(), 4, "all 4 spines must carry flows");
+    }
+
+    /// The link enumeration is consistent with routing: every window of
+    /// every realized route is an enumerated link, on every fabric.
+    #[test]
+    fn routes_ride_enumerated_links() {
+        for t in zoo() {
+            let links: HashSet<_> = t.links().into_iter().collect();
+            for key in 0..64u64 {
+                let r = t.route(0, t.n_hosts() - 1, key);
+                for w in r.windows(2) {
+                    assert!(
+                        links.contains(&(w[0], w[1])),
+                        "{}: route uses unenumerated link {:?}", t.kind(), w
+                    );
+                }
+            }
         }
     }
 }

@@ -55,7 +55,10 @@ pub use runner::{
 };
 
 use chm_netsim::impair::{ClockSkew, Duplication, GilbertElliott, ImpairmentSet, Reordering};
-use chm_netsim::{CongestionModel, Derate, QueueModel, RedDrop, SwitchRole};
+use chm_netsim::{
+    CongestionModel, Derate, FatTree, KaryFatTree, LeafSpine, QueueModel, RedDrop,
+    SwitchRole, Topology, WanGraph,
+};
 use chm_workloads::{
     testbed_trace, ArrivalProfile, FlowChurn, FloodModel, IncastModel, LossPlan, Trace,
     VictimDrift, VictimSelection, WorkloadKind,
@@ -75,6 +78,64 @@ const REPORT_SALT: u64 = 0x7265_7074; // "rept"
 /// Default time slots per epoch for the queue-dynamics knobs.
 pub const DEFAULT_SLOTS: usize = 8;
 
+/// Which fabric from the topology zoo a scenario runs on.
+///
+/// [`Testbed`](TopologySpec::Testbed) derives a testbed-family fat-tree
+/// from the scenario's host count — the historical behavior every existing
+/// golden is pinned to. The other variants pick a generator and size the
+/// host count themselves (the builder's
+/// [`topology`](ScenarioBuilder::topology) setter syncs `n_hosts` so the
+/// trace generator addresses every host the fabric has).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// Testbed-family fat-tree sized from `n_hosts` (2 hosts per edge,
+    /// edge count rounded up to even).
+    Testbed,
+    /// Textbook k-ary fat-tree (`k` even: `k` pods, `(k/2)²` cores,
+    /// `k³/4` hosts).
+    KaryFatTree {
+        /// The arity.
+        k: usize,
+    },
+    /// Two-tier leaf-spine Clos.
+    LeafSpine {
+        /// Leaf (ToR) switches.
+        n_leaf: usize,
+        /// Spine switches.
+        n_spine: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+    },
+    /// The Abilene WAN backbone (11 nodes, 14 links, asymmetric ECMP).
+    AbileneWan {
+        /// Hosts per PoP.
+        hosts_per_node: usize,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the fabric. For [`Testbed`](Self::Testbed) the shape
+    /// follows the scenario's host count exactly as the pre-zoo runner
+    /// derived it (2 hosts per edge, at least one pod), rounding the edge
+    /// count up to even — the validated [`FatTree::new`] rejects the odd
+    /// shapes the old struct-literal silently mis-wired.
+    pub fn build(&self, n_hosts: u32) -> Topology {
+        match *self {
+            TopologySpec::Testbed => {
+                let n_edge = (n_hosts as usize).div_ceil(2).max(2);
+                FatTree::new(n_edge + n_edge % 2, 2).into()
+            }
+            TopologySpec::KaryFatTree { k } => KaryFatTree::new(k).into(),
+            TopologySpec::LeafSpine { n_leaf, n_spine, hosts_per_leaf } => {
+                LeafSpine::new(n_leaf, n_spine, hosts_per_leaf).into()
+            }
+            TopologySpec::AbileneWan { hosts_per_node } => {
+                WanGraph::abilene(hosts_per_node).into()
+            }
+        }
+    }
+}
+
 /// A named, seeded, fully deterministic adversarial scenario: a workload, a
 /// loss plan, a set of fabric impairments, per-epoch dynamics, and a
 /// control-channel loss rate. Build one with [`Scenario::builder`].
@@ -88,8 +149,10 @@ pub struct Scenario {
     pub epochs: u64,
     /// Flows in the base trace.
     pub n_flows: usize,
-    /// Hosts in the fat-tree (testbed: 8).
+    /// Hosts in the fabric (testbed: 8).
     pub n_hosts: u32,
+    /// Which fabric the scenario runs on.
+    pub topology: TopologySpec,
     /// Flow-size distribution of the base trace.
     pub workload: WorkloadKind,
     /// Victim selection for the loss plan.
@@ -123,6 +186,7 @@ impl Scenario {
                 epochs: 4,
                 n_flows: 1_000,
                 n_hosts: 8,
+                topology: TopologySpec::Testbed,
                 workload: WorkloadKind::Dctcp,
                 selection: VictimSelection::RandomRatio(0.1),
                 loss_rate: 0.05,
@@ -156,6 +220,11 @@ impl Scenario {
             i.seed = seed ^ 0x0001_ca57;
         }
         self
+    }
+
+    /// Materializes the fabric this scenario runs on.
+    pub fn build_topology(&self) -> Topology {
+        self.topology.build(self.n_hosts)
     }
 
     /// The base (epoch-0) trace.
@@ -233,6 +302,18 @@ impl ScenarioBuilder {
     /// Sets the host count (and thereby the edge-switch fan-out).
     pub fn hosts(mut self, n: u32) -> Self {
         self.inner.n_hosts = n;
+        self
+    }
+
+    /// Picks the fabric from the topology zoo. For every non-testbed spec
+    /// the host count follows the fabric (the trace generator must address
+    /// exactly the hosts the fabric has); [`Testbed`](TopologySpec::Testbed)
+    /// keeps deriving the fat-tree from [`hosts`](Self::hosts).
+    pub fn topology(mut self, spec: TopologySpec) -> Self {
+        self.inner.topology = spec;
+        if !matches!(spec, TopologySpec::Testbed) {
+            self.inner.n_hosts = spec.build(self.inner.n_hosts).n_hosts() as u32;
+        }
         self
     }
 

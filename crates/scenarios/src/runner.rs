@@ -21,7 +21,7 @@ use chm_baselines::{FlowRadar, LossDetector, LossRadar};
 use chm_common::metrics::{average_relative_error, detection_score};
 use chm_common::FiveTuple;
 use chm_netsim::sim::{BurstHooks, EdgeHooks, EpochReport};
-use chm_netsim::{FatTree, SimConfig, Simulator};
+use chm_netsim::{SimConfig, Simulator};
 use chm_workloads::Trace;
 use std::collections::{HashMap, HashSet};
 
@@ -216,12 +216,9 @@ impl ScenarioStack {
 
     /// Builds the stack with an explicit data-plane configuration.
     pub fn with_config(s: &Scenario, cfg: DataPlaneConfig) -> Self {
-        let topology = FatTree {
-            n_edge: (s.n_hosts as usize).div_ceil(2).max(2),
-            hosts_per_edge: 2,
-        };
+        let topology = s.build_topology();
         let runtime = RuntimeConfig::initial(&cfg);
-        let edges = (0..topology.n_edge)
+        let edges = (0..topology.n_edges())
             .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
             .collect();
         let mut controller = Controller::new(cfg);

@@ -33,7 +33,7 @@ use chamelemon::{
 };
 use chm_common::FiveTuple;
 use chm_netsim::sim::EpochReport;
-use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator};
+use chm_netsim::{BurstHooks, EdgeHooks, SimConfig, Simulator};
 use chm_scenarios::{localization_hits, EpochStream, ReplayMode, Scenario, CFG_SALT};
 
 use crate::fault::{EpochFaults, FaultPlan, ReportFate};
@@ -141,13 +141,10 @@ impl ServeRuntime {
     /// comparable with the scenario matrix).
     pub fn new(serve: ServeConfig) -> Self {
         let s = &serve.scenario;
-        let topology = FatTree {
-            n_edge: (s.n_hosts as usize).div_ceil(2).max(2),
-            hosts_per_edge: 2,
-        };
+        let topology = s.build_topology();
         let cfg = DataPlaneConfig::small(s.seed ^ CFG_SALT);
         let runtime = RuntimeConfig::initial(&cfg);
-        let edges = (0..topology.n_edge)
+        let edges = (0..topology.n_edges())
             .map(|_| EdgeDataPlane::new(cfg.clone(), runtime))
             .collect();
         let mut controller = Controller::new(cfg.clone());
