@@ -1,7 +1,7 @@
 //! `chm-bench` — the benchmark driver CLI.
 //!
 //! ```text
-//! chm-bench perf [--quick] [--out <dir>]
+//! chm-bench perf [--quick] [--threads <list|auto>] [--out <dir>]
 //! chm-bench scenarios [--quick] [--per-packet] [--out <dir>]
 //!                     [--seeds <n>] [--check <golden.json>]
 //!                     [--topology-sweep]
@@ -10,8 +10,14 @@
 //! ```
 //!
 //! `perf` measures the hot-path packet engine (packets/sec, decode latency)
-//! against the in-tree legacy replica of the pre-fast-path implementation
-//! and writes `results/BENCH_hotpath.json` (see `chm_bench::perf`).
+//! against the in-tree legacy replica of the pre-fast-path implementation,
+//! then sweeps the sharded epoch pipeline across thread counts (`--threads`
+//! takes a comma list like `1,2,4,8` or `auto` for a doubling ladder up to
+//! the machine) and writes the combined schema-v2 table to
+//! `results/BENCH_hotpath.json` plus one thread-count-independent
+//! `SHARD_DIGEST_T<t>.json` per swept count (see `chm_bench::perf`). Every
+//! sweep pass is cross-checked against the unsharded replay — reports and
+//! sketch state must match exactly before a number is recorded.
 //!
 //! `scenarios` runs the golden adversarial matrix (Gilbert–Elliott bursty
 //! loss, duplication, reordering, clock skew, report loss, churn, floods,
@@ -76,7 +82,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chm-bench perf [--quick] [--out <dir>]\n       \
+        "usage: chm-bench perf [--quick] [--threads <list|auto>] [--out <dir>]\n       \
          chm-bench scenarios [--quick] [--per-packet] [--out <dir>] \
          [--seeds <n>] [--check <golden.json>] [--topology-sweep]\n       \
          chm-bench soak [--quick] [--epochs <n>] [--seed <s>] \
@@ -85,17 +91,54 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Parses `--threads`: a comma list of worker counts, or `auto` for a
+/// doubling ladder (1, 2, 4, …) up to the machine's available parallelism.
+/// The sweep itself re-adds the mandatory 1-thread baseline.
+fn parse_threads(spec: &str) -> Vec<usize> {
+    if spec == "auto" {
+        let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let mut out = Vec::new();
+        let mut t = 1;
+        while t <= avail {
+            out.push(t);
+            t *= 2;
+        }
+        if *out.last().expect("ladder starts at 1") != avail {
+            out.push(avail);
+        }
+        return out;
+    }
+    spec.split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("error: --threads expects a comma list of counts >= 1 or 'auto', got {spec:?}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     match cmd.as_str() {
         "perf" => {
             let mut pc = PerfConfig::full();
+            let mut sc = perf::SweepConfig::full();
+            let mut threads_arg: Option<String> = None;
             let mut out_dir = "results".to_string();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--quick" => pc = PerfConfig::quick(),
+                    "--quick" => {
+                        pc = PerfConfig::quick();
+                        sc = perf::SweepConfig::quick();
+                    }
+                    "--threads" => match it.next() {
+                        Some(t) => threads_arg = Some(t.clone()),
+                        None => usage(),
+                    },
                     "--out" => match it.next() {
                         Some(d) => out_dir = d.clone(),
                         None => usage(),
@@ -103,7 +146,10 @@ fn main() {
                     _ => usage(),
                 }
             }
-            let table = perf::run(pc);
+            if let Some(spec) = threads_arg {
+                sc.threads = parse_threads(&spec);
+            }
+            let table = perf::run(pc, &sc, std::path::Path::new(&out_dir));
             table.print();
             if let Err(e) = table.write_json(&out_dir) {
                 eprintln!("error: could not write {out_dir}/BENCH_hotpath.json: {e}");
@@ -117,6 +163,14 @@ fn main() {
                 row[0] / 1e6,
                 row[1] / 1e6,
             );
+            // The scaling curve, one line per sweep row (columns 11..).
+            for row in &table.rows[1..] {
+                eprintln!(
+                    "scaling: t={} n_flows={} crit {:.2} Mpps ({:.2}x, \
+                     efficiency {:.0}%)",
+                    row[11], row[13], row[15] / 1e6, row[16], row[18] * 100.0
+                );
+            }
         }
         "scenarios" => {
             let mut quick = false;

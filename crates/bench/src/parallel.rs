@@ -23,16 +23,39 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Worker-thread count: `CHM_THREADS` if set, else available parallelism.
+///
+/// `CHM_THREADS=0` clamps to one worker (the sequential path); non-numeric
+/// values abort with a clear message instead of silently falling back to
+/// the machine default — a typo'd `CHM_THREADS=fulL` must not quietly
+/// change how many cores a benchmark burns.
 pub fn threads() -> usize {
-    std::env::var("CHM_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
+    match threads_from(std::env::var("CHM_THREADS").ok().as_deref()) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`threads`] with the environment lookup factored out so the parsing
+/// rules are unit-testable without racing on the process environment.
+///
+/// `None` (unset) and whitespace-only values take the machine default;
+/// numeric values are clamped to ≥ 1; anything else is an error naming the
+/// offending value.
+pub fn threads_from(var: Option<&str>) -> Result<usize, String> {
+    let available = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match var {
+        None => Ok(available()),
+        Some(s) if s.trim().is_empty() => Ok(available()),
+        Some(s) => s
+            .trim()
+            .parse::<usize>()
+            .map(|n| n.max(1))
+            .map_err(|_| format!("CHM_THREADS must be a non-negative integer, got {s:?}")),
+    }
 }
 
 /// Maps `f` over `0..n` with the default worker count (see [`threads`]),
@@ -199,5 +222,33 @@ mod tests {
     #[test]
     fn threads_is_positive() {
         assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn threads_from_unset_uses_machine_default() {
+        assert!(threads_from(None).expect("unset is valid") >= 1);
+        assert!(threads_from(Some("")).expect("empty is valid") >= 1);
+        assert!(threads_from(Some("  ")).expect("whitespace is valid") >= 1);
+    }
+
+    #[test]
+    fn threads_from_zero_clamps_to_one() {
+        assert_eq!(threads_from(Some("0")), Ok(1));
+    }
+
+    #[test]
+    fn threads_from_parses_positive_counts() {
+        assert_eq!(threads_from(Some("1")), Ok(1));
+        assert_eq!(threads_from(Some("8")), Ok(8));
+        assert_eq!(threads_from(Some(" 4 ")), Ok(4));
+    }
+
+    #[test]
+    fn threads_from_rejects_garbage_with_clear_error() {
+        for bad in ["full", "-2", "3.5", "1e3"] {
+            let err = threads_from(Some(bad)).expect_err("garbage must not fall back");
+            assert!(err.contains("CHM_THREADS"), "error names the variable: {err}");
+            assert!(err.contains(bad), "error names the offending value: {err}");
+        }
     }
 }

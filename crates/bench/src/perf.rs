@@ -23,9 +23,14 @@ use chm_common::hash::{mix64, HashFamily, PairwiseHash};
 use chm_common::prime::{add_mod, signed_to_mod, sub_mod, MERSENNE_P};
 use chm_common::{FiveTuple, FlowId};
 use chm_fermat::{DecodeScratch, FermatConfig, FermatSketch};
+use chm_netsim::sim::EpochReport;
+use chm_netsim::{
+    KaryFatTree, ShardedReplay, Sharding, SimConfig, Simulator, SiteArray, SwitchId, Topology,
+};
 use chm_tower::TowerConfig;
-use chm_workloads::{testbed_trace, Trace, WorkloadKind};
+use chm_workloads::{testbed_trace, LossPlan, Trace, VictimSelection, WorkloadKind};
 use std::collections::{HashMap, VecDeque};
+use std::path::Path;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------
@@ -460,6 +465,213 @@ impl PerfConfig {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multicore scaling sweep: the sharded epoch pipeline
+// ---------------------------------------------------------------------
+
+/// Parameters of the `--threads` scaling sweep over the sharded epoch
+/// pipeline (`chm_netsim::ShardedReplay`).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Thread counts to sweep. Normalized to sorted + deduped and always
+    /// includes 1 — the speedup baseline row.
+    pub threads: Vec<usize>,
+    /// Concurrent flows per epoch in the standard sweep tier.
+    pub flows: usize,
+    /// Concurrent flows in the large tier (`0` skips it). The large tier
+    /// runs one epoch at 1 thread and at the largest swept count.
+    pub big_flows: usize,
+    /// Epochs replayed per measurement pass.
+    pub epochs: usize,
+}
+
+impl SweepConfig {
+    /// The full sweep (default): 1M concurrent flows across 1/2/4/8
+    /// threads, plus the 10M-flow tier.
+    pub fn full() -> Self {
+        SweepConfig { threads: vec![1, 2, 4, 8], flows: 1_000_000, big_flows: 10_000_000, epochs: 2 }
+    }
+
+    /// The CI smoke sweep (`--quick`): small trace, 1 and 2 threads, no
+    /// large tier.
+    pub fn quick() -> Self {
+        SweepConfig { threads: vec![1, 2], flows: 40_000, big_flows: 0, epochs: 1 }
+    }
+
+    /// Sorted, deduped, with the mandatory 1-thread baseline present.
+    pub fn normalized(mut self) -> Self {
+        self.threads.push(1);
+        self.threads.sort_unstable();
+        self.threads.dedup();
+        self
+    }
+}
+
+/// One measured point of the scaling curve.
+struct SweepRow {
+    threads: usize,
+    flows: usize,
+    packets: f64,
+    wall_s: f64,
+    crit_s: f64,
+}
+
+/// FNV-1a fold of one `u64` into the running digest.
+fn fnv64(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn switch_code(s: SwitchId) -> u64 {
+    ((s.role as u64) << 32) | s.index as u64
+}
+
+/// Order-independent digest of an epoch report: every map is folded in a
+/// canonical (sorted) order, so two reports digest equal iff they compare
+/// equal. This is what `results/SHARD_DIGEST_T<t>.json` records and what
+/// CI `cmp`s across thread counts.
+fn digest_report(r: &EpochReport<FiveTuple>) -> u64 {
+    let mut h = fnv64(0xcbf2_9ce4_8422_2325, r.epoch);
+    let mut flows: Vec<(u64, u64)> = r.delivered.iter().map(|(f, &c)| (f.key64(), c)).collect();
+    flows.sort_unstable();
+    for (k, c) in flows.drain(..) {
+        h = fnv64(fnv64(h, k), c);
+    }
+    let mut lost: Vec<(u64, u64)> = r.lost.iter().map(|(f, &c)| (f.key64(), c)).collect();
+    lost.sort_unstable();
+    for (k, c) in lost.drain(..) {
+        h = fnv64(fnv64(h, k), c);
+    }
+    for (&s, &c) in &r.dropped_at {
+        h = fnv64(fnv64(h, switch_code(s)), c);
+    }
+    let mut lost_at: Vec<(u64, &std::collections::BTreeMap<SwitchId, u64>)> =
+        r.lost_at.iter().map(|(f, m)| (f.key64(), m)).collect();
+    lost_at.sort_unstable_by_key(|&(k, _)| k);
+    for (k, m) in lost_at {
+        h = fnv64(h, k);
+        for (&s, &c) in m {
+            h = fnv64(fnv64(h, switch_code(s)), c);
+        }
+    }
+    for (&hops, &c) in &r.hops_histogram {
+        h = fnv64(fnv64(h, hops as u64), c);
+    }
+    h
+}
+
+/// The digest file's content. Deliberately free of the thread count: the
+/// files written at different `--threads` values must be byte-identical,
+/// which is exactly what CI's `cmp` asserts.
+fn digest_json(flows: usize, epochs: usize, digests: &[u64]) -> String {
+    let list =
+        digests.iter().map(|d| format!("\"{d:016x}\"")).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{\n  \"id\": \"SHARD_DIGEST\",\n  \"topology\": \"kary8\",\n  \
+         \"flows\": {flows},\n  \"epochs\": {epochs},\n  \
+         \"report_digests\": [{list}]\n}}\n"
+    )
+}
+
+/// Asserts the sharded pass reproduced the unsharded reference exactly:
+/// same reports, same sketch state on every edge (both groups).
+fn assert_matches_reference(
+    reports: &[EpochReport<FiveTuple>],
+    edges: &[EdgeDataPlane<FiveTuple>],
+    ref_reports: &[EpochReport<FiveTuple>],
+    ref_edges: &[EdgeDataPlane<FiveTuple>],
+    threads: usize,
+    pass: &str,
+) {
+    assert_eq!(
+        reports, ref_reports,
+        "sharded reports diverged from unsharded reference ({threads} threads, {pass} pass)"
+    );
+    for (e, (a, b)) in edges.iter().zip(ref_edges).enumerate() {
+        assert!(
+            a.group(0) == b.group(0) && a.group(1) == b.group(1),
+            "edge {e} sketch state diverged from unsharded reference \
+             ({threads} threads, {pass} pass)"
+        );
+    }
+}
+
+/// Measures one tier of the scaling curve: an unsharded reference pass,
+/// then per thread count a wall-clock pass (`shards = workers = t`) and a
+/// critical-path pass (`shards = t`, `workers = 1`, per-phase timing).
+///
+/// The critical-path number — serial prologue + slowest shard of each
+/// phase + merge — is the span of the sharded pipeline's dependency graph:
+/// the epoch time with one core per shard and free threads. On a machine
+/// with fewer cores than shards the wall column shows what this host
+/// actually achieves while the critical-path column shows what the
+/// sharding itself enables; both are recorded, clearly labeled.
+fn sweep_tier(
+    flows: usize,
+    epochs: usize,
+    threads: &[usize],
+) -> (Vec<SweepRow>, Vec<u64>) {
+    let topo: Topology = KaryFatTree::new(8).into();
+    let cfg = DataPlaneConfig::small(0x5ca1e);
+    let rt = RuntimeConfig::initial(&cfg);
+    let trace = testbed_trace(WorkloadKind::Dctcp, flows, topo.n_hosts() as u32, 0xacce1);
+    let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.01), 0.02, 0x10ad);
+    let packets = (trace.total_packets() * epochs as u64) as f64;
+
+    let new_edges = || -> Vec<EdgeDataPlane<FiveTuple>> {
+        (0..topo.n_edges()).map(|_| EdgeDataPlane::new(cfg.clone(), rt)).collect()
+    };
+
+    eprintln!("sweep tier: {flows} flows x {epochs} epochs on {} edges...", topo.n_edges());
+    let mut ref_edges = new_edges();
+    let mut sim = Simulator::new(topo.clone(), SimConfig::default());
+    let mut ref_reports = Vec::new();
+    for _ in 0..epochs {
+        let mut hooks = SiteArray(&mut ref_edges);
+        ref_reports.push(sim.run_epoch_burst(&trace, &plan, &mut hooks));
+    }
+    let digests: Vec<u64> = ref_reports.iter().map(digest_report).collect();
+
+    let mut rows = Vec::new();
+    for &t in threads {
+        let mut edges = new_edges();
+        let mut sim = Simulator::new(topo.clone(), SimConfig::default());
+        let mut eng = ShardedReplay::new(Sharding { shards: t, workers: t });
+        let t0 = Instant::now();
+        let mut reports = Vec::new();
+        for _ in 0..epochs {
+            reports.push(eng.run_epoch_burst(&mut sim, &trace, &plan, &mut edges));
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_matches_reference(&reports, &edges, &ref_reports, &ref_edges, t, "wall");
+
+        let mut edges = new_edges();
+        let mut sim = Simulator::new(topo.clone(), SimConfig::default());
+        let mut eng = ShardedReplay::new(Sharding { shards: t, workers: 1 });
+        let base = Instant::now();
+        let clock = move || base.elapsed().as_secs_f64();
+        let mut crit_s = 0.0;
+        let mut reports = Vec::new();
+        for _ in 0..epochs {
+            let (r, timing) =
+                eng.run_epoch_burst_timed(&mut sim, &trace, &plan, &mut edges, &clock);
+            crit_s += timing.critical_path_s();
+            reports.push(r);
+        }
+        assert_matches_reference(&reports, &edges, &ref_reports, &ref_edges, t, "critical-path");
+        eprintln!(
+            "  t={t}: wall {wall_s:.3}s, critical path {crit_s:.3}s \
+             ({:.2} Mpps crit)",
+            packets / crit_s / 1e6
+        );
+        rows.push(SweepRow { threads: t, flows, packets, wall_s, crit_s });
+    }
+    (rows, digests)
+}
+
 fn best_of<R>(reps: usize, mut run: impl FnMut() -> (f64, R)) -> (f64, R) {
     let mut best = run();
     for _ in 1..reps {
@@ -478,9 +690,14 @@ fn replay_flows(trace: &Trace<FiveTuple>) -> Vec<(FiveTuple, u64, u64)> {
     trace.flows.iter().map(|&(f, pkts)| (f, pkts, pkts / 50)).collect()
 }
 
-/// Runs the full measurement suite and returns the results table
-/// (single row, one column per metric — the `BENCH_hotpath` schema).
-pub fn run(pc: PerfConfig) -> Table {
+/// Runs the full measurement suite — the single-edge engine comparison
+/// plus the sharded-pipeline scaling sweep — and returns the results table
+/// (schema v2: row 0 is the engine row, rows 1.. are the scaling curve).
+///
+/// Writes one `SHARD_DIGEST_T<t>.json` per swept thread count into
+/// `out_dir`; their contents are thread-count-independent by construction,
+/// so CI can `cmp` them pairwise to assert cross-process byte-identity.
+pub fn run(pc: PerfConfig, sweep: &SweepConfig, out_dir: &Path) -> Table {
     let cfg = DataPlaneConfig::paper_default(0x9e7f);
     let trace = testbed_trace(WorkloadKind::Dctcp, pc.flows, 8, 0x9e7f);
     let flows = replay_flows(&trace);
@@ -614,9 +831,35 @@ pub fn run(pc: PerfConfig) -> Table {
         (t0.elapsed().as_secs_f64(), std::hint::black_box(n))
     });
 
+    // --- sharded-pipeline scaling sweep ----------------------------------
+    let sweep = sweep.clone().normalized();
+    let (sweep_rows, digests) = sweep_tier(sweep.flows, sweep.epochs, &sweep.threads);
+    for &t in &sweep.threads {
+        let path = out_dir.join(format!("SHARD_DIGEST_T{t}.json"));
+        if let Err(e) =
+            std::fs::create_dir_all(out_dir).and_then(|()| {
+                std::fs::write(&path, digest_json(sweep.flows, sweep.epochs, &digests))
+            })
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    let big_rows = if sweep.big_flows > 0 {
+        // The large tier: baseline plus the widest sharding, one epoch.
+        let mut big_threads = vec![1, *sweep.threads.last().expect("normalized is non-empty")];
+        big_threads.dedup();
+        sweep_tier(sweep.big_flows, 1, &big_threads).0
+    } else {
+        Vec::new()
+    };
+
+    // Schema v2: the 12 v1 columns keep their positions (row 0 stays
+    // parseable by v1 consumers), followed by the sweep columns. Cells a
+    // row kind does not measure are NaN, which the JSON writer emits as
+    // null — "not measured", never a fake zero.
     let mut t = Table::new(
         "BENCH_hotpath",
-        "Hot-path packet engine: fast path vs legacy replica (pre-PR baseline)",
+        "Hot-path packet engine vs legacy replica, plus sharded-pipeline scaling curve",
         &[
             "replay_pps_legacy",
             "replay_pps_fast",
@@ -630,8 +873,16 @@ pub fn run(pc: PerfConfig) -> Table {
             "replay_packets",
             "decoded_flows",
             "threads",
+            "schema_version",
+            "n_flows",
+            "sweep_pps_wall",
+            "sweep_pps_crit",
+            "speedup_crit",
+            "pps_per_thread",
+            "scaling_efficiency",
         ],
     );
+    let na = f64::NAN;
     t.push(vec![
         replay_pps_legacy,
         replay_pps_fast,
@@ -644,8 +895,49 @@ pub fn run(pc: PerfConfig) -> Table {
         delta_s_fast * 1e3,
         total_packets,
         decoded_flows as f64,
-        crate::parallel::threads() as f64,
+        1.0,
+        2.0,
+        pc.flows as f64,
+        na,
+        na,
+        na,
+        na,
+        na,
     ]);
+    for tier in [&sweep_rows, &big_rows] {
+        if tier.is_empty() {
+            continue;
+        }
+        let crit_1 = tier
+            .iter()
+            .find(|r| r.threads == 1)
+            .map(|r| r.crit_s)
+            .expect("every tier sweeps the 1-thread baseline");
+        for r in tier {
+            let speedup_crit = crit_1 / r.crit_s;
+            t.push(vec![
+                na,
+                na,
+                na,
+                na,
+                na,
+                na,
+                na,
+                na,
+                na,
+                r.packets,
+                na,
+                r.threads as f64,
+                2.0,
+                r.flows as f64,
+                r.packets / r.wall_s,
+                r.packets / r.crit_s,
+                speedup_crit,
+                r.packets / r.crit_s / r.threads as f64,
+                speedup_crit / r.threads as f64,
+            ]);
+        }
+    }
     t
 }
 
@@ -672,19 +964,57 @@ mod tests {
     }
 
     #[test]
-    fn perf_run_produces_consistent_row() {
-        let t = run(PerfConfig {
-            flows: 300,
-            epochs: 1,
-            hash_keys: 10_000,
-            decode_flows: 200,
-            reps: 1,
-        });
-        assert_eq!(t.rows.len(), 1);
-        assert_eq!(t.rows[0].len(), t.columns.len());
-        // Throughputs are positive and finite.
-        for v in &t.rows[0] {
-            assert!(v.is_finite() && *v > 0.0, "bad metric {v}");
+    fn perf_run_produces_consistent_rows() {
+        let dir = std::env::temp_dir().join("chm_bench_perf_test");
+        let sweep = SweepConfig { threads: vec![1, 2], flows: 400, big_flows: 0, epochs: 1 };
+        let t = run(
+            PerfConfig { flows: 300, epochs: 1, hash_keys: 10_000, decode_flows: 200, reps: 1 },
+            &sweep,
+            &dir,
+        );
+        // Row 0: the engine row — v1 columns all measured.
+        assert_eq!(t.rows.len(), 3, "engine row + one sweep row per thread count");
+        for row in &t.rows {
+            assert_eq!(row.len(), t.columns.len());
         }
+        for v in &t.rows[0][..12] {
+            assert!(v.is_finite() && *v > 0.0, "bad engine metric {v}");
+        }
+        // Sweep rows: thread counts ascend, sweep metrics measured, the
+        // 1-thread row is its own baseline.
+        assert_eq!(t.rows[1][11], 1.0);
+        assert_eq!(t.rows[2][11], 2.0);
+        assert!((t.rows[1][16] - 1.0).abs() < 1e-12, "t=1 speedup_crit is 1.0");
+        for row in &t.rows[1..] {
+            for v in &row[12..] {
+                assert!(v.is_finite() && *v > 0.0, "bad sweep metric {v}");
+            }
+        }
+        // Digest files exist and are byte-identical across thread counts.
+        let d1 = std::fs::read(dir.join("SHARD_DIGEST_T1.json")).unwrap();
+        let d2 = std::fs::read(dir.join("SHARD_DIGEST_T2.json")).unwrap();
+        assert_eq!(d1, d2, "digest files must not depend on the thread count");
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_content_sensitive() {
+        let trace = testbed_trace(WorkloadKind::Dctcp, 200, 8, 3);
+        let plan = LossPlan::build(&trace, VictimSelection::RandomRatio(0.1), 0.05, 4);
+        let topo: Topology = chm_netsim::FatTree::testbed().into();
+        let run_once = || {
+            let mut sim = Simulator::new(topo.clone(), SimConfig::default());
+            let cfg = DataPlaneConfig::small(7);
+            let rt = RuntimeConfig::initial(&cfg);
+            let mut edges: Vec<EdgeDataPlane<FiveTuple>> =
+                (0..topo.n_edges()).map(|_| EdgeDataPlane::new(cfg.clone(), rt)).collect();
+            let mut hooks = SiteArray(&mut edges);
+            sim.run_epoch_burst(&trace, &plan, &mut hooks)
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(digest_report(&a), digest_report(&b));
+        let mut c = b.clone();
+        *c.delivered.values_mut().next().unwrap() += 1;
+        assert_ne!(digest_report(&a), digest_report(&c));
     }
 }

@@ -58,7 +58,11 @@ mod salt {
 }
 
 /// One group of sketches (one of the two epoch-rotated copies).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares full sketch state (every counter, IDsum lane and
+/// port counter) — the sharded-vs-unsharded differential suites assert
+/// whole-group equality at every shard count.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SketchGroup<F: FlowId> {
     /// The flow classifier.
     pub classifier: TowerSketch,
@@ -327,6 +331,36 @@ impl<F: FlowId> EdgeDataPlane<F> {
         if self.groups[other].runtime != rt {
             self.groups[other] = SketchGroup::new(&self.cfg, rt);
         }
+    }
+}
+
+/// The data plane as a shard-ownable measurement site: this is what lets
+/// `chm_netsim::ShardedReplay` drive ChameleMon edges directly (and, via
+/// [`chm_netsim::SiteArray`], what the serial replay paths use too — the
+/// adapter that used to be copied into every consumer crate).
+///
+/// The 2-bit wire tag is the [`Hierarchy`] encoding of §3.2.3; ingress
+/// returns it, egress decodes it — exactly the ToS-field contract between a
+/// real ingress and egress pipeline.
+impl<F: FlowId> chm_netsim::EdgeSite<F> for EdgeDataPlane<F> {
+    // chm-lint: hot
+    fn site_ingress(&mut self, f: &F, ts_bit: u8) -> u8 {
+        self.on_ingress(f, ts_bit).to_tag()
+    }
+
+    // chm-lint: hot
+    fn site_egress(&mut self, f: &F, ts_bit: u8, tag: u8) {
+        self.on_egress(f, ts_bit, Hierarchy::from_tag(tag));
+    }
+
+    // chm-lint: hot
+    fn site_ingress_burst(&mut self, f: &F, ts_bit: u8, pkts: u64) -> [(u8, u64); 3] {
+        self.on_ingress_burst(f, ts_bit, pkts).map(|(h, n)| (h.to_tag(), n))
+    }
+
+    // chm-lint: hot
+    fn site_egress_burst(&mut self, f: &F, ts_bit: u8, tag: u8, delivered: u64) {
+        self.on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
     }
 }
 

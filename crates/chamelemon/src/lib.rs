@@ -52,12 +52,12 @@ pub mod tasks;
 
 pub use config::{DataPlaneConfig, Partition, RuntimeConfig};
 pub use control::{Controller, ControllerSnapshot, EpochAnalysis, NetworkState};
-pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy};
+pub use dataplane::{CollectedGroup, EdgeDataPlane, Hierarchy, SketchGroup};
 pub use localize::{
     EpochEvidence, Localization, Localizer, LocalizerSnapshot, PARTIAL_DECODE_CONFIDENCE,
 };
 
-use chm_netsim::{BurstHooks, EdgeHooks, FatTree, SimConfig, Simulator, Topology};
+use chm_netsim::{FatTree, SimConfig, SiteArray, Simulator, Topology};
 use chm_netsim::sim::{EpochReport, Routable};
 use chm_workloads::{LossPlan, Trace};
 
@@ -94,31 +94,6 @@ pub struct EpochOutcome<F: chm_common::FlowId> {
     /// [`ChameleMon::run_epoch_with_clock`]. There is deliberately no `0.0`
     /// placeholder — "not measured" must never masquerade as "instant".
     pub response_time_s: Option<f64>,
-}
-
-struct EdgeArray<'a, F: chm_common::FlowId>(&'a mut [EdgeDataPlane<F>]);
-
-impl<F: chm_common::FlowId> EdgeHooks<F> for EdgeArray<'_, F> {
-    fn on_ingress(&mut self, edge: usize, f: &F, ts_bit: u8) -> u8 {
-        self.0[edge].on_ingress(f, ts_bit).to_tag()
-    }
-
-    fn on_egress(&mut self, edge: usize, f: &F, ts_bit: u8, tag: u8) {
-        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
-    }
-}
-
-impl<F: chm_common::FlowId> BurstHooks<F> for EdgeArray<'_, F> {
-    fn on_ingress_burst(&mut self, edge: usize, f: &F, ts_bit: u8, pkts: u64)
-        -> [(u8, u64); 3] {
-        self.0[edge]
-            .on_ingress_burst(f, ts_bit, pkts)
-            .map(|(h, n)| (h.to_tag(), n))
-    }
-
-    fn on_egress_burst(&mut self, edge: usize, f: &F, ts_bit: u8, tag: u8, delivered: u64) {
-        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
-    }
 }
 
 impl<F: chm_common::FlowId> ChameleMon<F> {
@@ -185,7 +160,9 @@ impl<F: chm_common::FlowId> ChameleMon<F> {
     {
         let config_in_effect = *self.controller.deployed_runtime();
         let report = {
-            let mut hooks = EdgeArray(&mut self.edges);
+            // `EdgeDataPlane` implements `chm_netsim::EdgeSite`; `SiteArray`
+            // adapts the edge slice to the simulator's hook traits.
+            let mut hooks = SiteArray(&mut self.edges);
             // Burst replay: one hook call per flow, sketch state identical
             // to the per-packet path (see `TowerSketch::insert_burst`).
             self.simulator.run_epoch_burst(trace, plan, &mut hooks)

@@ -41,6 +41,7 @@ pub mod header;
 pub mod impair;
 pub mod collect;
 pub mod queue;
+pub mod shard;
 pub mod sim;
 pub mod topology;
 
@@ -53,6 +54,10 @@ pub use impair::{
 };
 pub use collect::CollectionModel;
 pub use queue::{QueueDepthStat, QueueLinkStats, QueueModel, QueueRealization, RedDrop};
+pub use shard::{
+    merge_fragments, EdgeSite, ReportFragment, ShardTiming, ShardedReplay, Sharding,
+    SiteArray,
+};
 pub use sim::{BurstHooks, EdgeHooks, EpochReport, SimConfig, Simulator};
 pub use topology::{
     Fabric, FatTree, KaryFatTree, LeafSpine, SwitchId, SwitchRole, Topology, WanGraph,

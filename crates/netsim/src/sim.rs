@@ -80,6 +80,9 @@ impl Default for SimConfig {
 /// like LossRadar would have) — the ground truth victim-localization
 /// accuracy is scored against. The per-switch maps are `BTreeMap`s so their
 /// iteration order is stable wherever they feed JSON goldens.
+///
+/// `PartialEq` compares the full report — the sharded-vs-unsharded
+/// differential suites assert whole-report equality.
 #[derive(Debug, Clone)]
 pub struct EpochReport<F> {
     /// Packets that traversed the full path, per flow.
@@ -102,6 +105,21 @@ pub struct EpochReport<F> {
     pub queue_depth: BTreeMap<SwitchId, QueueDepthStat>,
     /// Epoch index this report covers.
     pub epoch: u64,
+}
+
+// Hand-written because the derive would bound `F: PartialEq`, while the
+// `HashMap` comparisons actually need `F: Eq + Hash` (content equality,
+// independent of iteration order).
+impl<F: Eq + Hash> PartialEq for EpochReport<F> {
+    fn eq(&self, other: &Self) -> bool {
+        self.delivered == other.delivered
+            && self.lost == other.lost
+            && self.dropped_at == other.dropped_at
+            && self.lost_at == other.lost_at
+            && self.hops_histogram == other.hops_histogram
+            && self.queue_depth == other.queue_depth
+            && self.epoch == other.epoch
+    }
 }
 
 impl<F: Copy + Eq + Hash> EpochReport<F> {
@@ -185,7 +203,7 @@ pub fn spread_drop_nth(k: u64, pkts: u64, n_lost: u64) -> u64 {
 /// flow's route — both clean paths call this with identical inputs, so
 /// their attribution is byte-identical.
 #[allow(clippy::too_many_arguments)]
-fn attribute_spread<F: Copy + Eq + Hash>(
+pub(crate) fn attribute_spread<F: Copy + Eq + Hash>(
     f: &F,
     flow_key: u64,
     pkts: u64,
@@ -212,7 +230,7 @@ fn attribute_spread<F: Copy + Eq + Hash>(
 
 /// Folds one flow's realized [`FabricFates`] drop points into the epoch
 /// accumulators (the scenario replay paths). No-op for lossless flows.
-fn attribute_fates<F: Copy + Eq + Hash>(
+pub(crate) fn attribute_fates<F: Copy + Eq + Hash>(
     f: &F,
     route: &[SwitchId],
     fates: &FabricFates,
@@ -648,8 +666,10 @@ impl Simulator {
         report
     }
 
-    /// The per-epoch seed every replay path derives loss realizations from.
-    fn epoch_seed(&self) -> u64 {
+    /// The per-epoch seed every replay path derives loss realizations from
+    /// (the sharded engine in [`crate::shard`] must use the identical
+    /// derivation, hence the crate visibility).
+    pub(crate) fn epoch_seed(&self) -> u64 {
         self.config
             .seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)

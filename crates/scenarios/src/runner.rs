@@ -12,7 +12,6 @@
 
 use crate::Scenario;
 use chamelemon::config::DataPlaneConfig;
-use chamelemon::dataplane::Hierarchy;
 use chamelemon::{
     CollectedGroup, Controller, EdgeDataPlane, EpochEvidence, Localization, Localizer,
     RuntimeConfig,
@@ -20,8 +19,8 @@ use chamelemon::{
 use chm_baselines::{FlowRadar, LossDetector, LossRadar};
 use chm_common::metrics::{average_relative_error, detection_score};
 use chm_common::FiveTuple;
-use chm_netsim::sim::{BurstHooks, EdgeHooks, EpochReport};
-use chm_netsim::{SimConfig, Simulator};
+use chm_netsim::sim::EpochReport;
+use chm_netsim::{ShardedReplay, Sharding, SimConfig, Simulator, SiteArray};
 use chm_workloads::Trace;
 use std::collections::{HashMap, HashSet};
 
@@ -169,41 +168,11 @@ pub struct ScenarioStack {
     lr_localizer: Localizer,
     /// The FlowRadar comparison track's localizer.
     fr_localizer: Localizer,
-}
-
-struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
-
-impl EdgeHooks<FiveTuple> for EdgeArray<'_> {
-    fn on_ingress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8) -> u8 {
-        self.0[edge].on_ingress(f, ts_bit).to_tag()
-    }
-    fn on_egress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8) {
-        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
-    }
-}
-
-impl BurstHooks<FiveTuple> for EdgeArray<'_> {
-    fn on_ingress_burst(
-        &mut self,
-        edge: usize,
-        f: &FiveTuple,
-        ts_bit: u8,
-        pkts: u64,
-    ) -> [(u8, u64); 3] {
-        self.0[edge]
-            .on_ingress_burst(f, ts_bit, pkts)
-            .map(|(h, n)| (h.to_tag(), n))
-    }
-    fn on_egress_burst(
-        &mut self,
-        edge: usize,
-        f: &FiveTuple,
-        ts_bit: u8,
-        tag: u8,
-        delivered: u64,
-    ) {
-        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
-    }
+    /// When set, epochs replay through the sharded engine instead of the
+    /// serial paths — byte-identical output at any shard/worker count (the
+    /// `sharded_matrix` differential suite pins it), so this is purely an
+    /// execution-strategy knob.
+    sharded: Option<ShardedReplay<FiveTuple>>,
 }
 
 impl ScenarioStack {
@@ -232,7 +201,15 @@ impl ScenarioStack {
                 topology,
                 SimConfig { epoch_ms: 50.0, seed: s.seed ^ 0x51b },
             ),
+            sharded: None,
         }
+    }
+
+    /// Replays subsequent epochs through the sharded engine with `sharding`.
+    /// Output is byte-identical to the serial paths at any layout; the knob
+    /// only changes how the replay work is scheduled.
+    pub fn set_sharding(&mut self, sharding: Sharding) {
+        self.sharded = Some(ShardedReplay::new(sharding));
     }
 
     /// Runs one epoch of `s` under `mode`: evolve the workload, replay with
@@ -248,21 +225,37 @@ impl ScenarioStack {
         let epoch = self.simulator.current_epoch();
         let trace = s.trace_for_epoch(base, epoch);
         let plan = s.plan_for_epoch(&trace, epoch);
-        let report = {
-            let mut hooks = EdgeArray(&mut self.edges);
-            match mode {
-                ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
-                    &trace,
-                    &plan,
-                    &s.impairments,
-                    &mut hooks,
-                ),
-                ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
-                    &trace,
-                    &plan,
-                    &s.impairments,
-                    &mut hooks,
-                ),
+        let report = match (&mut self.sharded, mode) {
+            (Some(eng), ReplayMode::PerPacket) => eng.run_epoch_scenario(
+                &mut self.simulator,
+                &trace,
+                &plan,
+                &s.impairments,
+                &mut self.edges,
+            ),
+            (Some(eng), ReplayMode::Burst) => eng.run_epoch_burst_scenario(
+                &mut self.simulator,
+                &trace,
+                &plan,
+                &s.impairments,
+                &mut self.edges,
+            ),
+            (None, mode) => {
+                let mut hooks = SiteArray(&mut self.edges);
+                match mode {
+                    ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
+                        &trace,
+                        &plan,
+                        &s.impairments,
+                        &mut hooks,
+                    ),
+                    ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
+                        &trace,
+                        &plan,
+                        &s.impairments,
+                        &mut hooks,
+                    ),
+                }
             }
         };
         let ts_bit = (report.epoch & 1) as u8;

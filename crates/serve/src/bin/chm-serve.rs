@@ -3,8 +3,8 @@
 //! ```text
 //! chm-serve [--epochs <n>] [--seed <s>] [--profile none|standard|stress]
 //!           [--scenario calm|congested] [--inbox-capacity <n>]
-//!           [--metrics <path|->] [--snapshot <path>] [--snapshot-every <k>]
-//!           [--restore <path>] [--quiet]
+//!           [--shards <n>] [--metrics <path|->] [--snapshot <path>]
+//!           [--snapshot-every <k>] [--restore <path>] [--quiet]
 //! ```
 //!
 //! Serves `n` epochs of the scenario's endless workload stream through the
@@ -17,9 +17,13 @@
 //!
 //! The process is fully deterministic: same flags, same bytes. It reads
 //! no clock — real-time latency measurement lives in `chm-bench soak`.
+//! `--shards <n>` replays each epoch through the sharded engine; the
+//! metrics stream (and any snapshot) is byte-identical at every shard
+//! count, so the flag only changes how the replay work is scheduled.
 
 use std::io::Write;
 
+use chm_netsim::Sharding;
 use chm_scenarios::Scenario;
 use chm_serve::{FaultPlan, ServeConfig, ServeRuntime, ServeSnapshot, ServeState};
 
@@ -27,8 +31,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: chm-serve [--epochs <n>] [--seed <s>] \
          [--profile none|standard|stress] [--scenario calm|congested]\n       \
-         [--inbox-capacity <n>] [--metrics <path|->] [--snapshot <path>] \
-         [--snapshot-every <k>] [--restore <path>] [--quiet]"
+         [--inbox-capacity <n>] [--shards <n>] [--metrics <path|->] \
+         [--snapshot <path>] [--snapshot-every <k>] [--restore <path>] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -63,6 +67,7 @@ fn main() {
     let mut profile = "standard".to_string();
     let mut scenario_name = "congested".to_string();
     let mut inbox_capacity: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut metrics_path = "-".to_string();
     let mut snapshot_path: Option<String> = None;
     let mut snapshot_every: Option<u64> = None;
@@ -89,6 +94,10 @@ fn main() {
             },
             "--inbox-capacity" => match it.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n >= 1 => inbox_capacity = Some(n),
+                _ => usage(),
+            },
+            "--shards" => match it.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => shards = Some(n),
                 _ => usage(),
             },
             "--metrics" => match it.next() {
@@ -124,6 +133,9 @@ fn main() {
     let mut serve_cfg = ServeConfig::new(scenario_for(&scenario_name, seed), faults);
     serve_cfg.inbox_capacity = inbox_capacity;
     let mut rt = ServeRuntime::new(serve_cfg);
+    if let Some(n) = shards {
+        rt.set_sharding(Sharding::of(n));
+    }
     if let Some(path) = &restore_path {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(format!("could not read snapshot {path}: {e}")));

@@ -29,11 +29,11 @@ use std::collections::BTreeMap;
 use chamelemon::control::EpochAnalysis;
 use chamelemon::dataplane::CollectedGroup;
 use chamelemon::{
-    Controller, DataPlaneConfig, EdgeDataPlane, Hierarchy, Localization, RuntimeConfig,
+    Controller, DataPlaneConfig, EdgeDataPlane, Localization, RuntimeConfig,
 };
 use chm_common::FiveTuple;
 use chm_netsim::sim::EpochReport;
-use chm_netsim::{BurstHooks, EdgeHooks, SimConfig, Simulator};
+use chm_netsim::{ShardedReplay, Sharding, SimConfig, Simulator, SiteArray};
 use chm_scenarios::{localization_hits, EpochStream, ReplayMode, Scenario, CFG_SALT};
 
 use crate::fault::{EpochFaults, FaultPlan, ReportFate};
@@ -94,34 +94,6 @@ struct CollectionTally {
     max_backoff_ms: f64,
 }
 
-struct EdgeArray<'a>(&'a mut [EdgeDataPlane<FiveTuple>]);
-
-impl EdgeHooks<FiveTuple> for EdgeArray<'_> {
-    fn on_ingress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8) -> u8 {
-        self.0[edge].on_ingress(f, ts_bit).to_tag()
-    }
-    fn on_egress(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8) {
-        self.0[edge].on_egress(f, ts_bit, Hierarchy::from_tag(tag));
-    }
-}
-
-impl BurstHooks<FiveTuple> for EdgeArray<'_> {
-    fn on_ingress_burst(
-        &mut self,
-        edge: usize,
-        f: &FiveTuple,
-        ts_bit: u8,
-        pkts: u64,
-    ) -> [(u8, u64); 3] {
-        self.0[edge]
-            .on_ingress_burst(f, ts_bit, pkts)
-            .map(|(h, n)| (h.to_tag(), n))
-    }
-    fn on_egress_burst(&mut self, edge: usize, f: &FiveTuple, ts_bit: u8, tag: u8, delivered: u64) {
-        self.0[edge].on_egress_burst(f, ts_bit, Hierarchy::from_tag(tag), delivered);
-    }
-}
-
 /// The streaming controller runtime. Build with [`new`](Self::new), drive
 /// with [`step`](Self::step), persist with [`snapshot`](Self::snapshot).
 pub struct ServeRuntime {
@@ -133,6 +105,10 @@ pub struct ServeRuntime {
     simulator: Simulator,
     watchdog: Watchdog,
     last_good: RuntimeConfig,
+    /// When set, epochs replay through the sharded engine — byte-identical
+    /// output at any layout, so this is never part of a snapshot (execution
+    /// strategy, not stream state).
+    sharded: Option<ShardedReplay<FiveTuple>>,
 }
 
 impl ServeRuntime {
@@ -164,7 +140,15 @@ impl ServeRuntime {
             simulator,
             watchdog,
             last_good: runtime,
+            sharded: None,
         }
+    }
+
+    /// Replays subsequent epochs through the sharded engine with `sharding`.
+    /// The metrics stream stays byte-identical at any shard/worker count;
+    /// snapshots taken under sharding restore into any other layout.
+    pub fn set_sharding(&mut self, sharding: Sharding) {
+        self.sharded = Some(ShardedReplay::new(sharding));
     }
 
     /// The epoch [`step`](Self::step) will serve next.
@@ -190,21 +174,38 @@ impl ServeRuntime {
         let (trace, plan) = self.stream.at(epoch);
 
         // 1. Replay through the fabric and the edge data planes.
-        let report = {
-            let mut hooks = EdgeArray(&mut self.edges);
-            match self.serve.mode {
-                ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
-                    &trace,
-                    &plan,
-                    &self.serve.scenario.impairments,
-                    &mut hooks,
-                ),
-                ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
-                    &trace,
-                    &plan,
-                    &self.serve.scenario.impairments,
-                    &mut hooks,
-                ),
+        let imp = &self.serve.scenario.impairments;
+        let report = match (&mut self.sharded, self.serve.mode) {
+            (Some(eng), ReplayMode::PerPacket) => eng.run_epoch_scenario(
+                &mut self.simulator,
+                &trace,
+                &plan,
+                imp,
+                &mut self.edges,
+            ),
+            (Some(eng), ReplayMode::Burst) => eng.run_epoch_burst_scenario(
+                &mut self.simulator,
+                &trace,
+                &plan,
+                imp,
+                &mut self.edges,
+            ),
+            (None, mode) => {
+                let mut hooks = SiteArray(&mut self.edges);
+                match mode {
+                    ReplayMode::PerPacket => self.simulator.run_epoch_scenario(
+                        &trace,
+                        &plan,
+                        imp,
+                        &mut hooks,
+                    ),
+                    ReplayMode::Burst => self.simulator.run_epoch_burst_scenario(
+                        &trace,
+                        &plan,
+                        imp,
+                        &mut hooks,
+                    ),
+                }
             }
         };
         let ts_bit = (report.epoch & 1) as u8;
