@@ -7,6 +7,7 @@
 //!                     [--topology-sweep]
 //! chm-bench soak [--quick] [--epochs <n>] [--seed <s>]
 //!                [--profile none|standard|stress] [--out <dir>]
+//! chm-bench profile [--quick] [--workers <n>] [--seed <s>] [--out <dir>]
 //! ```
 //!
 //! `perf` measures the hot-path packet engine (packets/sec, decode latency)
@@ -36,6 +37,14 @@
 //! scenario's mean F1 or localization top-3 hit rate regressed more than
 //! the tolerance vs the committed golden.
 //!
+//! `profile` drives the congested serve preset through the sharded engine
+//! with the `chm_obs` span profiler under a real clock and writes the
+//! per-stage time/allocation breakdown to `results/PROFILE.json` plus the
+//! deterministic count columns to `results/PROFILE_counts.json` (see
+//! `chm_bench::profile`). The counts file is a pure function of the
+//! sizing — byte-identical across runs, machines, and `--workers` — and
+//! CI `cmp`-gates it against the committed golden.
+//!
 //! `--topology-sweep` swaps the adversarial matrix for the topology zoo:
 //! one congestion-coupled scenario per fabric (testbed, k-ary fat-trees,
 //! leaf-spines, Abilene WAN), written to `results/TOPOLOGY_SWEEP.json`
@@ -43,6 +52,7 @@
 //! `--check` compose; `--seeds` applies to the matrix only.
 
 use chm_bench::perf::{self, PerfConfig};
+use chm_bench::profile::{self, ProfileConfig};
 use chm_bench::scenarios;
 use chm_bench::soak::{self, SoakConfig};
 use chm_bench::sweep;
@@ -86,7 +96,8 @@ fn usage() -> ! {
          chm-bench scenarios [--quick] [--per-packet] [--out <dir>] \
          [--seeds <n>] [--check <golden.json>] [--topology-sweep]\n       \
          chm-bench soak [--quick] [--epochs <n>] [--seed <s>] \
-         [--profile none|standard|stress] [--out <dir>]"
+         [--profile none|standard|stress] [--out <dir>]\n       \
+         chm-bench profile [--quick] [--workers <n>] [--seed <s>] [--out <dir>]"
     );
     std::process::exit(2);
 }
@@ -332,6 +343,48 @@ fn main() {
                 );
                 std::process::exit(1);
             }
+        }
+        "profile" => {
+            let mut quick = false;
+            let mut cfg = ProfileConfig::full();
+            let mut out_dir = "results".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--quick" => {
+                        quick = true;
+                        cfg = ProfileConfig { epochs: ProfileConfig::quick().epochs, ..cfg };
+                    }
+                    "--workers" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(n) if n >= 1 => cfg.workers = n,
+                        _ => usage(),
+                    },
+                    "--seed" => match it.next().and_then(|n| n.parse().ok()) {
+                        Some(s) => cfg.seed = s,
+                        None => usage(),
+                    },
+                    "--out" => match it.next() {
+                        Some(d) => out_dir = d.clone(),
+                        None => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let report = profile::run(
+                &cfg,
+                &profile::wall_clock(),
+                &|| ALLOCATIONS.load(Ordering::SeqCst),
+            );
+            report.print();
+            if let Err(e) = report.write_json(&out_dir, quick) {
+                eprintln!("error: could not write {out_dir}/PROFILE.json: {e}");
+                std::process::exit(1);
+            }
+            let suffix = if quick { "_quick" } else { "" };
+            eprintln!(
+                "json: {out_dir}/PROFILE{suffix}.json + \
+                 {out_dir}/PROFILE_counts{suffix}.json"
+            );
         }
         _ => usage(),
     }

@@ -17,6 +17,8 @@ pub mod lossdet;
 pub mod parallel;
 #[allow(clippy::disallowed_methods)]
 pub mod perf;
+#[allow(clippy::disallowed_methods)]
+pub mod profile;
 pub mod report;
 pub mod scenarios;
 #[allow(clippy::disallowed_methods)]

@@ -163,6 +163,11 @@ pub fn run(cfg: &SoakConfig, alloc_count: &dyn Fn() -> u64) -> SoakReport {
         config: cfg.clone(),
         alloc_flat: windows_are_flat(&window_stats),
         windows: window_stats,
+        // Nearest-rank caveat: the p999 column is the sample *maximum*
+        // whenever fewer than 1000 samples back it — always true of `wall`
+        // on `--quick`/`--epochs <1000` runs, and of `virt` whenever clock
+        // stalls thin the reaction samples below 1000 (see
+        // `chm_serve::percentile`). Read quick-run p999 as "worst seen".
         wall_ms: latency_percentiles(&wall).unwrap_or((0.0, 0.0, 0.0)),
         virt_ms: latency_percentiles(&virt).unwrap_or((0.0, 0.0, 0.0)),
         degraded_epochs,

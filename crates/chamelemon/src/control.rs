@@ -24,9 +24,15 @@ use chm_common::FlowId;
 use chm_fermat::{DecodeScratch, FermatSketch};
 use chm_netsim::sim::Routable;
 use chm_netsim::{QueueDepthStat, SwitchId, Topology};
+use chm_obs::SpanProfiler;
 use chm_tower::MracConfig;
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
+
+/// Observability context threaded through the profiled analysis entry
+/// points: the span tree to record into and the injected clock that
+/// drives it (`&mut || 0.0` everywhere outside the bench harness).
+pub type ObsCtx<'a> = (&'a mut SpanProfiler, &'a mut dyn FnMut() -> f64);
 
 /// Load-factor targets (§4.3: reconfigure toward 70%, act below 60%).
 pub const TARGET_LOAD: f64 = 0.70;
@@ -269,6 +275,25 @@ impl<F: FlowId> Controller<F> {
         }))
     }
 
+    /// [`localize_with_telemetry`](Self::localize_with_telemetry) under a
+    /// `localize` span. Same injected-clock contract as
+    /// [`analyze_epoch_profiled`](Self::analyze_epoch_profiled).
+    pub fn localize_with_telemetry_profiled(
+        &mut self,
+        a: &EpochAnalysis<F>,
+        queue_depth: &BTreeMap<SwitchId, QueueDepthStat>,
+        spans: &mut SpanProfiler,
+        clock: &mut dyn FnMut() -> f64,
+    ) -> Option<Localization<F>>
+    where
+        F: Routable,
+    {
+        spans.enter("localize", clock);
+        let r = self.localize_with_telemetry(a, queue_depth);
+        spans.exit(clock);
+        r
+    }
+
     /// Nearest size to `m` not on the failed-size list: steps up toward
     /// `m_df` first; if the cap itself has failed, steps down toward
     /// `min_hl_buckets` instead — any change of modulus re-randomizes the
@@ -373,6 +398,38 @@ impl<F: FlowId> Controller<F> {
     /// zero) and [`reconfigure`](Self::reconfigure) leaves the deployed
     /// runtime untouched.
     pub fn analyze_epoch(&self, collected: &[CollectedGroup<F>]) -> EpochAnalysis<F> {
+        self.analyze_epoch_inner(collected, &mut None)
+    }
+
+    /// [`analyze_epoch`](Self::analyze_epoch) with span profiling: the
+    /// whole pass runs under an `analyze` span, and every Fermat decode
+    /// records `decode/edge_{i}` (upstream HH per edge), `decode/delta_hl`,
+    /// `decode/delta_ll`, plus a `decode/sparse` or `decode/loaded` span
+    /// for the strategy the peel took ([`chm_fermat::DecodeStats`]).
+    ///
+    /// The clock is **injected** (chm_obs discipline): production callers
+    /// pass `&mut || 0.0`, which keeps every duration at exactly `0.0`
+    /// while span counts still accumulate deterministically. Only the
+    /// bench harness passes real time.
+    pub fn analyze_epoch_profiled(
+        &self,
+        collected: &[CollectedGroup<F>],
+        spans: &mut SpanProfiler,
+        clock: &mut dyn FnMut() -> f64,
+    ) -> EpochAnalysis<F> {
+        spans.enter("analyze", clock);
+        let mut obs: Option<ObsCtx<'_>> = Some((spans, clock));
+        let a = self.analyze_epoch_inner(collected, &mut obs);
+        let (spans, clock) = obs.take().expect("obs context is never consumed by the analysis");
+        spans.exit(clock);
+        a
+    }
+
+    fn analyze_epoch_inner(
+        &self,
+        collected: &[CollectedGroup<F>],
+        obs: &mut Option<ObsCtx<'_>>,
+    ) -> EpochAnalysis<F> {
         if collected.is_empty() {
             return EpochAnalysis {
                 hh_flowsets: Vec::new(),
@@ -408,12 +465,19 @@ impl<F: FlowId> Controller<F> {
         // --- decode upstream HH encoders ---------------------------------
         let mut hh_flowsets = Vec::with_capacity(collected.len());
         let mut hh_decode_ok = true;
-        for g in collected {
+        for (i, g) in collected.iter().enumerate() {
             if g.runtime.partition.m_hh == 0 {
                 hh_flowsets.push(HashMap::new());
                 continue;
             }
+            let t0 = obs.as_mut().map_or(0.0, |(_, clock)| clock());
             let r = g.up_hh.decode_with(scratch);
+            if let Some((spans, clock)) = obs.as_mut() {
+                let dur = clock() - t0;
+                spans.record(&["decode", &format!("edge_{i}")], dur);
+                let strategy = if scratch.last_stats.sparse { "sparse" } else { "loaded" };
+                spans.record(&["decode", strategy], dur);
+            }
             if !r.success {
                 hh_decode_ok = false;
             }
@@ -473,7 +537,14 @@ impl<F: FlowId> Controller<F> {
         let mut hl_partial: HashMap<F, i64> = HashMap::new();
         let (hl_flowset, est_hls) = match &delta_hl {
             Some(delta) if hh_decode_ok => {
+                let t0 = obs.as_mut().map_or(0.0, |(_, clock)| clock());
                 let r = delta.decode_with(scratch);
+                if let Some((spans, clock)) = obs.as_mut() {
+                    let dur = clock() - t0;
+                    spans.record(&["decode", "delta_hl"], dur);
+                    let strategy = if scratch.last_stats.sparse { "sparse" } else { "loaded" };
+                    spans.record(&["decode", strategy], dur);
+                }
                 if r.success {
                     let n = r.flows.len() as f64;
                     (Some(r.flows), n)
@@ -502,7 +573,14 @@ impl<F: FlowId> Controller<F> {
         }
         let (ll_flowset, est_lls) = match &delta_ll {
             Some(delta) => {
+                let t0 = obs.as_mut().map_or(0.0, |(_, clock)| clock());
                 let r = delta.decode_with(scratch);
+                if let Some((spans, clock)) = obs.as_mut() {
+                    let dur = clock() - t0;
+                    spans.record(&["decode", "delta_ll"], dur);
+                    let strategy = if scratch.last_stats.sparse { "sparse" } else { "loaded" };
+                    spans.record(&["decode", strategy], dur);
+                }
                 if r.success {
                     let n = r.flows.len() as f64;
                     (Some(r.flows), n)

@@ -410,6 +410,12 @@ impl<F: FlowId> FermatSketch<F> {
                     _ => {}
                 }
             }
+            scratch.last_stats = DecodeStats {
+                sparse: true,
+                hot_buckets: hot,
+                total_buckets: total,
+                decoded_flows: flows.len(),
+            };
             DecodeResult {
                 flows,
                 success: remaining == 0,
@@ -430,6 +436,12 @@ impl<F: FlowId> FermatSketch<F> {
             };
             self.peel(&mut store, &mut scratch.queue, &mut flows);
             let remaining = count_remaining(&scratch.counts, &scratch.idsums, F::FRAGMENTS);
+            scratch.last_stats = DecodeStats {
+                sparse: false,
+                hot_buckets: hot,
+                total_buckets: total,
+                decoded_flows: flows.len(),
+            };
             DecodeResult {
                 flows,
                 success: remaining == 0,
@@ -515,6 +527,26 @@ pub struct DecodeScratch<F: FlowId> {
     idsums: Vec<u64>,
     fpsums: Vec<u64>,
     flows: HashMap<F, i64>,
+    /// Telemetry from the most recent [`FermatSketch::decode_with`] call
+    /// through this scratch (strategy choice + peel size). Read-only for
+    /// callers; observability layers fold it into span counters.
+    pub last_stats: DecodeStats,
+}
+
+/// What the most recent `decode_with` did: which strategy ran and how big
+/// the peel was. Purely integer/flag data, deterministic for a given
+/// sketch state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// True when the sparse overlay path ran (≤ 1/8 bucket occupancy);
+    /// false for the dense bucket-copy path.
+    pub sparse: bool,
+    /// Non-zero buckets at decode start.
+    pub hot_buckets: usize,
+    /// Total buckets in the sketch configuration.
+    pub total_buckets: usize,
+    /// Flows extracted by the peel.
+    pub decoded_flows: usize,
 }
 
 impl<F: FlowId> Default for DecodeScratch<F> {
@@ -526,6 +558,7 @@ impl<F: FlowId> Default for DecodeScratch<F> {
             idsums: Vec::new(),
             fpsums: Vec::new(),
             flows: HashMap::new(),
+            last_stats: DecodeStats::default(),
         }
     }
 }

@@ -5,9 +5,11 @@
 //! burst replays, the CI scenario gate, the committed benchmark goldens —
 //! rests on invariants that were previously enforced only by review: no
 //! unordered hash iteration feeding committed metrics (the exact PR 3 bug
-//! class), no entropy-seeded RNGs, no wall-clock reads in library code, no
-//! `%`/allocation in hot paths, and audited `unsafe`/`unwrap`. This crate
-//! checks them mechanically on every CI run.
+//! class), no entropy-seeded RNGs, no wall-clock reads in library code
+//! (the `chm_obs` span profiler takes an *injected* clock for exactly this
+//! reason), no `%`/allocation in hot paths, audited `unsafe`/`unwrap`, and
+//! Prometheus-convention metric names at every `chm_obs` registration
+//! site. This crate checks them mechanically on every CI run.
 //!
 //! The analyzer is a hand-rolled lexer + token-stream rule engine
 //! ([`lexer`], [`model`], [`rules`]) — the vendoring policy forbids new

@@ -44,6 +44,11 @@ const OUTPUT_SURFACE: &[&str] = &[
     "crates/netsim/src/sim.rs",
     "crates/chamelemon/src/control.rs",
     "crates/chamelemon/src/localize.rs",
+    "crates/obs/src/registry.rs",
+    "crates/obs/src/span.rs",
+    "crates/obs/src/expo.rs",
+    "crates/serve/src/obs.rs",
+    "crates/scenarios/src/obs.rs",
 ];
 
 /// Classifies a workspace-relative path (forward slashes).
@@ -107,6 +112,9 @@ mod tests {
         assert_eq!(classify("crates/common/src/metrics.rs"), Role::OutputSurface);
         assert_eq!(classify("crates/bench/src/perf.rs"), Role::Bench);
         assert_eq!(classify("crates/bench/src/report.rs"), Role::OutputSurface);
+        assert_eq!(classify("crates/obs/src/expo.rs"), Role::OutputSurface);
+        assert_eq!(classify("crates/serve/src/obs.rs"), Role::OutputSurface);
+        assert_eq!(classify("crates/scenarios/src/obs.rs"), Role::OutputSurface);
         assert_eq!(classify("crates/chamelemon/tests/attention.rs"), Role::TestFile);
         assert_eq!(classify("tests/alloc_audit.rs"), Role::TestFile);
         assert_eq!(classify("examples/quickstart.rs"), Role::Example);

@@ -9,6 +9,7 @@
 //! | `hot-path-alloc`| no allocation-prone calls inside hot functions                 |
 //! | `unsafe-block`  | every `unsafe` must carry an `allow` with a written reason     |
 //! | `unwrap`        | no bare `.unwrap()` / empty `.expect("")` in library code      |
+//! | `metric-name`   | registered metric names follow the Prometheus convention       |
 //! | `bad-allow`     | `allow` directives must name a known rule and give a reason    |
 //!
 //! Each rule is a pure function of the token stream, the file's
@@ -31,8 +32,14 @@ pub const RULE_IDS: &[&str] = &[
     "hot-path-alloc",
     "unsafe-block",
     "unwrap",
+    "metric-name",
     "bad-allow",
 ];
+
+/// `chm_obs::Registry` registration entry points whose first argument is
+/// the metric name the `metric-name` rule validates.
+const METRIC_REGISTER_FNS: &[&str] =
+    &["register_counter", "register_gauge", "register_histogram"];
 
 /// Iterator-producing methods on hash collections whose order is
 /// instance-randomized.
@@ -131,6 +138,7 @@ pub fn check_file(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     rule_unwrap(ctx, &code, &mut out);
     rule_map_iter_order(ctx, &code, &mut out);
     rule_hot_path(ctx, &code, &mut out);
+    rule_metric_name(ctx, &code, &mut out);
     rule_bad_allow(ctx, &mut out);
     out
 }
@@ -148,7 +156,9 @@ fn rule_wall_clock(ctx: &FileCtx<'_>, code: &[(usize, &Tok)], out: &mut Vec<Diag
                 oi,
                 "wall-clock",
                 "`SystemTime` is nondeterministic; only `crates/bench` timing \
-                 harnesses may read real time"
+                 harnesses may read real time — pass a clock into the \
+                 `chm_obs` span APIs instead (they are injection sites, \
+                 never clock reads)"
                     .into(),
             ));
         }
@@ -160,7 +170,10 @@ fn rule_wall_clock(ctx: &FileCtx<'_>, code: &[(usize, &Tok)], out: &mut Vec<Diag
                 oi,
                 "wall-clock",
                 "`Instant::now()` outside the bench harness breaks replay \
-                 determinism; inject a clock from `crates/bench` instead"
+                 determinism; inject a clock from `crates/bench` instead. \
+                 The `chm_obs` span APIs (`enter`/`exit`/`record`) take \
+                 `&mut dyn FnMut() -> f64` for exactly this reason: \
+                 production code passes `&mut || 0.0`"
                     .into(),
             ));
         }
@@ -497,6 +510,83 @@ fn rule_hot_path(ctx: &FileCtx<'_>, code: &[(usize, &Tok)], out: &mut Vec<Diagno
             }
         }
     }
+}
+
+/// D6: metric names at `chm_obs::Registry` registration call sites must
+/// follow the Prometheus convention the runtime validator
+/// (`chm_obs::metric_name_error`) enforces: `snake_case` ASCII
+/// `[a-z0-9_]`, a `chm_` namespace prefix, and a final unit-suffix
+/// segment. The static twin catches bad names at lint time instead of at
+/// first registration, and covers call sites tests never reach.
+///
+/// Only literal first arguments are checked (a name built at runtime is
+/// the registry's job to reject); the `fn register_counter(…)` definitions
+/// themselves and `#[cfg(test)]` regions are skipped, as are test files
+/// (which register deliberately bad names to pin the runtime panic).
+fn rule_metric_name(ctx: &FileCtx<'_>, code: &[(usize, &Tok)], out: &mut Vec<Diagnostic>) {
+    if matches!(ctx.role, Role::TestFile | Role::Fixture | Role::Vendor) {
+        return;
+    }
+    for i in 0..code.len() {
+        let (_, t) = code[i];
+        if t.kind != TokKind::Ident || !METRIC_REGISTER_FNS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if ctx.model.in_test(t.line) {
+            continue;
+        }
+        // Skip the definitions of the registration functions themselves.
+        if i > 0 && code[i - 1].1.is_ident("fn") {
+            continue;
+        }
+        if !code.get(i + 1).is_some_and(|(_, p)| p.is_punct('(')) {
+            continue;
+        }
+        let Some(&(oi, arg)) = code.get(i + 2) else { continue };
+        if arg.kind != TokKind::Str {
+            continue; // dynamic name — validated at registration time
+        }
+        let name = arg.text.trim_matches('"');
+        if let Some(reason) = metric_name_problem(name) {
+            out.push(ctx.diag(arg.line, oi, "metric-name", reason));
+        }
+    }
+}
+
+/// Prometheus base-unit suffixes a metric name must end in (the static
+/// twin of `chm_obs::UNIT_SUFFIXES` — keep in sync).
+const METRIC_UNIT_SUFFIXES: &[&str] = &["total", "seconds", "bytes", "ratio", "count", "info"];
+
+/// The static twin of `chm_obs::metric_name_error`. `None` = acceptable.
+fn metric_name_problem(name: &str) -> Option<String> {
+    if name.is_empty() {
+        return Some("metric name is empty".into());
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !(c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_'))
+    {
+        return Some(format!(
+            "metric name {name:?} contains {bad:?}; names must be snake_case \
+             ASCII ([a-z0-9_])"
+        ));
+    }
+    if name.starts_with('_') || name.ends_with('_') || name.contains("__") {
+        return Some(format!(
+            "metric name {name:?} has a leading, trailing, or doubled underscore"
+        ));
+    }
+    if !name.starts_with("chm_") {
+        return Some(format!("metric name {name:?} lacks the `chm_` namespace prefix"));
+    }
+    let last = name.rsplit('_').next().unwrap_or("");
+    if !METRIC_UNIT_SUFFIXES.contains(&last) {
+        return Some(format!(
+            "metric name {name:?} must end in a Prometheus unit suffix ({})",
+            METRIC_UNIT_SUFFIXES.join("|")
+        ));
+    }
+    None
 }
 
 /// The meta-rule: `allow` without a reason, naming an unknown rule, or a

@@ -136,6 +136,25 @@ fn unwrap_is_free_in_test_files() {
 }
 
 #[test]
+fn metric_name_bad_fires() {
+    assert_eq!(
+        rules_fired(LIB, "metric_name_bad.rs"),
+        ["metric-name", "metric-name", "metric-name", "metric-name"]
+    );
+}
+
+#[test]
+fn metric_name_good_is_clean() {
+    assert_clean(LIB, "metric_name_good.rs");
+}
+
+#[test]
+fn metric_name_skips_test_files() {
+    // Test files register deliberately bad names to pin the runtime panic.
+    assert_clean("crates/obs/tests/expo.rs", "metric_name_bad.rs");
+}
+
+#[test]
 fn allow_bad_fires() {
     let mut fired = rules_fired(LIB, "allow_bad.rs");
     fired.sort();

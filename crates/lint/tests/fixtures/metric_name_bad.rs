@@ -1,0 +1,13 @@
+// Fixture: metric registrations violating the naming convention.
+// Expected (under a library role): metric-name x4.
+
+pub fn register_all(r: &mut Registry) {
+    // Missing the chm_ namespace prefix.
+    r.register_counter("serve_epochs_total", "epochs", &[]);
+    // No unit suffix.
+    r.register_gauge("chm_serve_f1", "detection F1", &[]);
+    // Uppercase is not snake_case.
+    r.register_counter("chm_Serve_epochs_total", "epochs", &[]);
+    // Doubled underscore.
+    r.register_histogram("chm_serve__reaction_seconds", "latency", &[], &[0.1]);
+}

@@ -1,0 +1,18 @@
+// Fixture: blessed metric registrations — literal names following the
+// convention, dynamic names (runtime-validated), and the registration
+// functions' own definitions. Expected: no diagnostics.
+
+pub fn register_all(r: &mut Registry) {
+    r.register_counter("chm_serve_epochs_total", "epochs", &[]);
+    r.register_gauge("chm_serve_f1_ratio", "detection F1", &[]);
+    r.register_histogram("chm_serve_reaction_seconds", "latency", &[], &[0.1]);
+    // A runtime-built name is the registry validator's job, not the lint's.
+    let name = format!("chm_{}_total", "dynamic");
+    r.register_counter(&name, "dynamic", &[]);
+}
+
+// The definition of a registration entry point is not a call site.
+pub fn register_counter(name: &str, help: &str) -> u32 {
+    let _ = (name, help);
+    0
+}

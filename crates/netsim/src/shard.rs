@@ -56,6 +56,7 @@ use crate::sim::{
 use crate::topology::{SwitchId, Topology};
 use crate::{CongestionRealization, FabricFates, QueueRealization};
 use chm_common::FlowId;
+use chm_obs::SpanProfiler;
 use chm_workloads::{LossPlan, Trace};
 use std::collections::{BTreeMap, HashMap};
 
@@ -268,6 +269,29 @@ impl ShardTiming {
             + self.phase_a.iter().sum::<f64>()
             + self.phase_b.iter().sum::<f64>()
             + self.merge_s
+    }
+
+    /// Reconstructs the timing struct as a view over a recorded span tree
+    /// (`prologue`, `phase_a/shard_{i}`, `phase_b/shard_{i}`, `merge`).
+    /// Shard vectors are read back in index order, so the result is
+    /// value-identical to the struct the engine used to build directly.
+    pub fn from_profile(prof: &SpanProfiler) -> Self {
+        let total = |path: &[&str]| prof.get(path).map_or(0.0, |(_, t)| t);
+        let shard_vec = |phase: &str| {
+            let mut out = Vec::new();
+            let mut i = 0usize;
+            while let Some((_, t)) = prof.get(&[phase, &format!("shard_{i}")]) {
+                out.push(t);
+                i += 1;
+            }
+            out
+        };
+        ShardTiming {
+            prologue_s: total(&["prologue"]),
+            phase_a: shard_vec("phase_a"),
+            phase_b: shard_vec("phase_b"),
+            merge_s: total(&["merge"]),
+        }
     }
 }
 
@@ -732,6 +756,10 @@ pub struct ShardedReplay<F> {
     sharding: Sharding,
     parts: Vec<ShardFlows>,
     scratches: Vec<ShardScratch<F>>,
+    /// Span tree of the most recent epoch (`prologue`, `phase_a/shard_i`,
+    /// `phase_b/shard_i`, `merge`) — the [`ShardTiming`] the timed entry
+    /// points return is a [`ShardTiming::from_profile`] view over it.
+    last_profile: SpanProfiler,
 }
 
 impl<F: Routable> ShardedReplay<F> {
@@ -742,12 +770,21 @@ impl<F: Routable> ShardedReplay<F> {
             sharding,
             parts: (0..sharding.shards).map(|_| ShardFlows::default()).collect(),
             scratches: (0..sharding.shards).map(|_| ShardScratch::default()).collect(),
+            last_profile: SpanProfiler::new(),
         }
     }
 
     /// The engine's (normalized) sharding.
     pub fn sharding(&self) -> Sharding {
         self.sharding
+    }
+
+    /// Span tree of the most recent epoch, for callers that want to fold
+    /// engine timing into a wider profile (`chm-bench profile` absorbs
+    /// this under its per-epoch span). Durations are in the injected
+    /// clock's units — all zeros under the default null clock.
+    pub fn last_profile(&self) -> &SpanProfiler {
+        &self.last_profile
     }
 
     /// Sharded [`Simulator::run_epoch`]: byte-identical report and sketch
@@ -794,6 +831,7 @@ impl<F: Routable> ShardedReplay<F> {
             apply_run_per_packet,
         );
         timing.prologue_s += prologue;
+        self.last_profile.record(&["prologue"], prologue);
         install_globals(&mut report, delivered, lost);
         sim.set_epoch(epoch + 1);
         (report, timing)
@@ -843,6 +881,7 @@ impl<F: Routable> ShardedReplay<F> {
             apply_run_burst,
         );
         timing.prologue_s += prologue;
+        self.last_profile.record(&["prologue"], prologue);
         install_globals(&mut report, delivered, lost);
         sim.set_epoch(epoch + 1);
         (report, timing)
@@ -907,6 +946,7 @@ impl<F: Routable> ShardedReplay<F> {
             apply_run_per_packet,
         );
         timing.prologue_s += prologue;
+        self.last_profile.record(&["prologue"], prologue);
         sim.set_epoch(epoch + 1);
         (report, timing)
     }
@@ -971,6 +1011,7 @@ impl<F: Routable> ShardedReplay<F> {
             apply_run_burst,
         );
         timing.prologue_s += prologue;
+        self.last_profile.record(&["prologue"], prologue);
         sim.set_epoch(epoch + 1);
         (report, timing)
     }
@@ -1097,7 +1138,21 @@ impl<F: Routable> ShardedReplay<F> {
             s.frag = frag; // drained, capacity retained for the next epoch
         }
         let merge_s = clock() - m0;
-        (report, ShardTiming { prologue_s: partition_s, phase_a, phase_b, merge_s })
+
+        // Record the epoch as a span tree and hand back the classic
+        // timing struct as a view over it (value-identical fields).
+        let mut prof = SpanProfiler::new();
+        prof.record(&["prologue"], partition_s);
+        for (i, t) in phase_a.iter().enumerate() {
+            prof.record(&["phase_a", &format!("shard_{i}")], *t);
+        }
+        for (i, t) in phase_b.iter().enumerate() {
+            prof.record(&["phase_b", &format!("shard_{i}")], *t);
+        }
+        prof.record(&["merge"], merge_s);
+        let timing = ShardTiming::from_profile(&prof);
+        self.last_profile = prof;
+        (report, timing)
     }
 }
 
@@ -1223,6 +1278,24 @@ mod tests {
                 assert_eq!(sim.current_epoch(), sim_ref.current_epoch());
             }
         }
+    }
+
+    #[test]
+    fn timed_run_populates_span_profile_as_timing_view() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (trace, plan, mut sim) = setup();
+        let mut s = sites(4);
+        let mut eng = ShardedReplay::new(Sharding { shards: 3, workers: 1 });
+        // Deterministic strictly-increasing fake clock (not wall time).
+        let ticks = AtomicU64::new(0);
+        let clock = move || ticks.fetch_add(1, Ordering::SeqCst) as f64;
+        let (_, timing) = eng.run_epoch_timed(&mut sim, &trace, &plan, &mut s, &clock);
+        let prof = eng.last_profile();
+        assert!(prof.balanced());
+        assert_eq!(ShardTiming::from_profile(prof), timing);
+        assert_eq!(prof.get(&["phase_a", "shard_2"]).map(|(c, _)| c), Some(1));
+        assert!(prof.get(&["phase_a", "shard_3"]).is_none());
+        assert!(timing.total_work_s() > 0.0);
     }
 
     #[test]

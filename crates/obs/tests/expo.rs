@@ -1,0 +1,114 @@
+//! Integration coverage for the Prometheus exposition (satellite: label
+//! escaping, bucket cumulativity, byte-identical rendering).
+
+use chm_obs::{render_json_metrics, render_prometheus, Registry, ShardBuf, SpanProfiler};
+
+fn busy_registry(absorb_order: &[usize]) -> Registry {
+    let mut r = Registry::new();
+    let packets = r.register_counter(
+        "chm_t_packets_total",
+        "Packets replayed.",
+        &[("path", "per\\packet"), ("note", "line\nbreak \"quoted\"")],
+    );
+    let f1 = r.register_gauge("chm_t_f1_ratio", "Detection F1.", &[]);
+    let lat = r.register_histogram(
+        "chm_t_reaction_seconds",
+        "Reaction latency.",
+        &[("mode", "burst")],
+        &[0.001, 0.01, 0.1, 1.0],
+    );
+    r.set(f1, 0.9375);
+    let mut bufs: Vec<ShardBuf> = (0..3).map(|_| ShardBuf::for_registry(&r)).collect();
+    for (i, buf) in bufs.iter_mut().enumerate() {
+        buf.add(packets, 100 + i as u64);
+        for k in 0..=i {
+            buf.observe(lat, 0.0005 * (k + 1) as f64 * 10f64.powi(i as i32));
+        }
+    }
+    for &i in absorb_order {
+        r.absorb(&mut bufs[i]);
+    }
+    r
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let text = render_prometheus(&busy_registry(&[0, 1, 2]));
+    // backslash, newline, and quote all escaped per text-format 0.0.4
+    assert!(text.contains(r#"path="per\\packet""#), "got:\n{text}");
+    assert!(text.contains(r#"note="line\nbreak \"quoted\"""#), "got:\n{text}");
+    // label pairs are sorted by key regardless of call-site order
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("chm_t_packets_total{"))
+        .expect("counter series rendered");
+    assert!(line.find("note=").expect("note label") < line.find("path=").expect("path label"));
+}
+
+/// Parse every `_bucket` line of one histogram family and check the
+/// text-format invariants: cumulative counts monotone in `le`, and the
+/// terminal `+Inf` bucket equal to `_count`.
+#[test]
+fn histogram_buckets_are_cumulative_and_inf_matches_count() {
+    let text = render_prometheus(&busy_registry(&[0, 1, 2]));
+    let mut bucket_counts: Vec<u64> = Vec::new();
+    let mut inf = None;
+    let mut count = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("chm_t_reaction_seconds_bucket{") {
+            let v: u64 = rest
+                .rsplit(' ')
+                .next()
+                .and_then(|n| n.parse().ok())
+                .expect("bucket line ends in an integer");
+            if rest.contains("le=\"+Inf\"") {
+                inf = Some(v);
+            } else {
+                bucket_counts.push(v);
+            }
+        } else if let Some(rest) = line.strip_prefix("chm_t_reaction_seconds_count") {
+            count = rest.rsplit(' ').next().and_then(|n| n.parse().ok());
+        }
+    }
+    assert_eq!(bucket_counts.len(), 4, "one line per finite bound:\n{text}");
+    assert!(
+        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counts must be monotone in le: {bucket_counts:?}"
+    );
+    let inf = inf.expect("+Inf bucket rendered");
+    let count: u64 = count.expect("_count rendered");
+    assert_eq!(inf, count, "le=\"+Inf\" must equal _count");
+    assert_eq!(count, 6, "3 shards observed 1+2+3 samples");
+    assert!(*bucket_counts.last().expect("nonempty") <= inf);
+}
+
+#[test]
+fn rendering_is_byte_identical_across_runs_and_absorb_orders() {
+    let a = busy_registry(&[0, 1, 2]);
+    let b = busy_registry(&[2, 0, 1]);
+    assert_eq!(render_prometheus(&a), render_prometheus(&b));
+    assert_eq!(render_json_metrics(&a), render_json_metrics(&b));
+}
+
+#[test]
+fn span_tree_renders_byte_identically_under_zero_clock() {
+    let run = || {
+        let mut p = SpanProfiler::new();
+        let mut zero = || 0.0;
+        for e in 0..5 {
+            p.enter("epoch", &mut zero);
+            p.record(&["replay"], 0.0);
+            for s in 0..3 {
+                p.record(&["phase_a", &format!("shard_{s}")], 0.0);
+            }
+            p.record_n(&["decode", &format!("edge_{}", e % 2)], 2, 0.0);
+            p.exit(&mut zero);
+        }
+        assert!(p.balanced());
+        (p.json_object(), p.trace_jsonl())
+    };
+    assert_eq!(run(), run());
+    let (obj, trace) = run();
+    assert!(obj.contains("\"epoch/phase_a/shard_2\":{\"count\":5,\"total_s\":0}"));
+    assert!(trace.contains("{\"span\":\"epoch/decode/edge_0\",\"count\":6,\"total_s\":0}\n"));
+}

@@ -3,8 +3,9 @@
 //! ```text
 //! chm-serve [--epochs <n>] [--seed <s>] [--profile none|standard|stress]
 //!           [--scenario calm|congested] [--inbox-capacity <n>]
-//!           [--shards <n>] [--metrics <path|->] [--snapshot <path>]
-//!           [--snapshot-every <k>] [--restore <path>] [--quiet]
+//!           [--shards <n>] [--metrics <path|->] [--metrics-out <path>]
+//!           [--prom-out <path>] [--snapshot <path>] [--snapshot-every <k>]
+//!           [--restore <path>] [--quiet]
 //! ```
 //!
 //! Serves `n` epochs of the scenario's endless workload stream through the
@@ -20,6 +21,13 @@
 //! `--shards <n>` replays each epoch through the sharded engine; the
 //! metrics stream (and any snapshot) is byte-identical at every shard
 //! count, so the flag only changes how the replay work is scheduled.
+//!
+//! Telemetry sinks (`chm_obs`): `--metrics-out <path>` appends one JSONL
+//! line per epoch (`{"epoch":N,"metrics":{...},"spans":{...}}` — the flat
+//! registry plus the cumulative span tree) and `--prom-out <path>`
+//! rewrites a Prometheus text-format 0.0.4 snapshot after every epoch.
+//! Both run under the injected zero clock, so their bytes too are
+//! identical across runs and shard counts (CI cmp-gates this).
 
 use std::io::Write;
 
@@ -31,8 +39,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: chm-serve [--epochs <n>] [--seed <s>] \
          [--profile none|standard|stress] [--scenario calm|congested]\n       \
-         [--inbox-capacity <n>] [--shards <n>] [--metrics <path|->] \
-         [--snapshot <path>] [--snapshot-every <k>] [--restore <path>] [--quiet]"
+         [--inbox-capacity <n>] [--shards <n>] [--metrics <path|->]\n       \
+         [--metrics-out <path>] [--prom-out <path>] [--snapshot <path>] \
+         [--snapshot-every <k>] [--restore <path>] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -69,6 +78,8 @@ fn main() {
     let mut inbox_capacity: Option<usize> = None;
     let mut shards: Option<usize> = None;
     let mut metrics_path = "-".to_string();
+    let mut obs_jsonl_path: Option<String> = None;
+    let mut prom_path: Option<String> = None;
     let mut snapshot_path: Option<String> = None;
     let mut snapshot_every: Option<u64> = None;
     let mut restore_path: Option<String> = None;
@@ -102,6 +113,14 @@ fn main() {
             },
             "--metrics" => match it.next() {
                 Some(p) => metrics_path = p.clone(),
+                None => usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => obs_jsonl_path = Some(p.clone()),
+                None => usage(),
+            },
+            "--prom-out" => match it.next() {
+                Some(p) => prom_path = Some(p.clone()),
                 None => usage(),
             },
             "--snapshot" => match it.next() {
@@ -153,6 +172,20 @@ fn main() {
         Box::new(std::io::BufWriter::new(f))
     };
 
+    let mut obs_sink: Option<std::io::BufWriter<std::fs::File>> =
+        obs_jsonl_path.as_ref().map(|p| {
+            let f = std::fs::File::create(p)
+                .unwrap_or_else(|e| fail(format!("could not create {p}: {e}")));
+            std::io::BufWriter::new(f)
+        });
+    let write_prom = |rt: &ServeRuntime| {
+        if let Some(path) = &prom_path {
+            if let Err(e) = std::fs::write(path, rt.obs().prom_snapshot()) {
+                fail(format!("could not write Prometheus snapshot {path}: {e}"));
+            }
+        }
+    };
+
     let write_snap = |rt: &ServeRuntime| {
         if let Some(path) = &snapshot_path {
             if let Err(e) = std::fs::write(path, rt.snapshot().serialize()) {
@@ -171,6 +204,12 @@ fn main() {
         if let Err(e) = writeln!(sink, "{}", record.to_jsonl()) {
             fail(format!("could not write metrics: {e}"));
         }
+        if let Some(obs_sink) = &mut obs_sink {
+            if let Err(e) = writeln!(obs_sink, "{}", rt.obs().jsonl_line(record.epoch)) {
+                fail(format!("could not write telemetry trace: {e}"));
+            }
+        }
+        write_prom(&rt);
         if let Some(k) = snapshot_every {
             if (rt.next_epoch() - first).is_multiple_of(k) {
                 write_snap(&rt);
@@ -179,6 +218,11 @@ fn main() {
     }
     if let Err(e) = sink.flush() {
         fail(format!("could not flush metrics: {e}"));
+    }
+    if let Some(obs_sink) = &mut obs_sink {
+        if let Err(e) = obs_sink.flush() {
+            fail(format!("could not flush telemetry trace: {e}"));
+        }
     }
     write_snap(&rt);
 

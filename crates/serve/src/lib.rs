@@ -27,12 +27,14 @@
 
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod runtime;
 pub mod snapshot;
 pub mod watchdog;
 
 pub use fault::{EpochFaults, FaultPlan, ReportFate};
 pub use metrics::{json_f64, latency_percentiles, percentile, EpochRecord};
+pub use obs::ServeObs;
 pub use runtime::{ServeConfig, ServeRuntime};
 pub use snapshot::ServeSnapshot;
 pub use watchdog::{ServeState, Watchdog, WatchdogSnapshot};

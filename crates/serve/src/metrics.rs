@@ -132,6 +132,14 @@ impl EpochRecord {
 /// The `p`-th percentile (`0 ≤ p ≤ 1`) of an **unsorted** sample by the
 /// nearest-rank method; `None` on an empty sample. Sorting happens on a
 /// copy — callers keep their insertion order.
+///
+/// **Small-sample behavior:** nearest-rank rounds the rank *up*, so any
+/// percentile whose rank lands past the last distinct position returns
+/// the **maximum** sample. Concretely, `p999` on fewer than 1000 samples
+/// is exactly `max(samples)` (rank `ceil(0.999·n)` = `n` for `n < 1000`),
+/// and on a single sample every percentile is that sample. This is the
+/// standard nearest-rank definition, not a bug — but it means a tail
+/// percentile is only meaningful once `n ≥ 1/(1-p)`.
 pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     if samples.is_empty() {
         return None;
@@ -142,7 +150,9 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     Some(sorted[rank - 1])
 }
 
-/// The (p50, p99, p999) triple of a sample, `None` when empty.
+/// The (p50, p99, p999) triple of a sample, `None` when empty. The p999
+/// column inherits [`percentile`]'s nearest-rank small-sample behavior:
+/// with fewer than 1000 samples it reports the sample maximum.
 pub fn latency_percentiles(samples: &[f64]) -> Option<(f64, f64, f64)> {
     Some((
         percentile(samples, 0.50)?,
@@ -211,5 +221,27 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), None);
         // Unsorted input is handled.
         assert_eq!(percentile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+    }
+
+    #[test]
+    fn percentile_small_sample_edges() {
+        // n = 0: no sample, no percentile — every p.
+        for p in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(percentile(&[], p), None);
+        }
+        // n = 1: every percentile is the one sample (rank clamps to 1).
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile(&[42.0], p), Some(42.0));
+        }
+        // n = 2: the median is the lower sample (rank ceil(0.5*2)=1), and
+        // every tail percentile saturates to the max.
+        assert_eq!(percentile(&[10.0, 20.0], 0.50), Some(10.0));
+        assert_eq!(percentile(&[10.0, 20.0], 0.51), Some(20.0));
+        assert_eq!(percentile(&[10.0, 20.0], 0.99), Some(20.0));
+        assert_eq!(percentile(&[10.0, 20.0], 0.999), Some(20.0));
+        // The documented n < 1000 saturation: p999 == max exactly.
+        let xs: Vec<f64> = (1..=999).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.999), Some(999.0));
+        assert_eq!(latency_percentiles(&xs).map(|t| t.2), Some(999.0));
     }
 }

@@ -1,0 +1,283 @@
+//! The serve runtime's telemetry surface: a [`chm_obs::Registry`] of
+//! service counters/gauges/histograms plus the per-epoch span tree, all
+//! fed from each [`EpochRecord`].
+//!
+//! Determinism: everything here derives from the deterministic epoch
+//! records and the zero-clock span profiler, so both exposition formats
+//! are byte-identical across runs, shard layouts, and kill/restore — with
+//! one deliberate exception: telemetry is **process-lifetime** state (a
+//! restarted process starts its counters at zero, exactly like a
+//! restarted Prometheus target) and is therefore *not* part of
+//! [`ServeSnapshot`][crate::snapshot::ServeSnapshot].
+
+use chm_obs::{render_json_metrics, render_prometheus, MetricId, Registry, SpanProfiler};
+
+use crate::metrics::EpochRecord;
+
+/// Upper bounds (seconds) for the reaction-latency histogram. The virtual
+/// latency model tops out around `base + per_report·edges + backoff`, so
+/// these buckets spread the realistic 2–60 ms range.
+const REACTION_BUCKETS: [f64; 8] = [0.002, 0.004, 0.008, 0.016, 0.032, 0.064, 0.128, 0.256];
+
+/// Static handles into the serve registry (registered once at startup).
+#[derive(Debug, Clone, Copy)]
+struct Ids {
+    epochs: MetricId,
+    blind_epochs: MetricId,
+    degraded_epochs: MetricId,
+    paused_epochs: MetricId,
+    clock_stall_epochs: MetricId,
+    decode_failure_epochs: MetricId,
+    packets: MetricId,
+    reports_delivered: MetricId,
+    reports_lost: MetricId,
+    reports_delayed: MetricId,
+    reports_timed_out: MetricId,
+    report_duplicates: MetricId,
+    backpressure_drops: MetricId,
+    switch_reboots: MetricId,
+    f1: MetricId,
+    loc_top3: MetricId,
+    sample_rate: MetricId,
+    staged_hh: MetricId,
+    staged_hl: MetricId,
+    staged_ll: MetricId,
+    reaction: MetricId,
+}
+
+/// The serve runtime's observability state: metric registry + span tree.
+#[derive(Debug, Clone)]
+pub struct ServeObs {
+    registry: Registry,
+    /// The live span tree. [`ServeRuntime::step`][crate::runtime::ServeRuntime::step]
+    /// opens an `epoch` span per epoch (under the zero clock — durations
+    /// stay 0.0; counts accumulate) and the controller's profiled entry
+    /// points record `analyze/decode/*` and `localize` below it.
+    pub spans: SpanProfiler,
+    ids: Ids,
+}
+
+impl Default for ServeObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeObs {
+    pub fn new() -> Self {
+        let mut r = Registry::new();
+        let c = |r: &mut Registry, name: &str, help: &str| r.register_counter(name, help, &[]);
+        let g = |r: &mut Registry, name: &str, help: &str| r.register_gauge(name, help, &[]);
+        let ids = Ids {
+            epochs: c(&mut r, "chm_serve_epochs_total", "Epochs served."),
+            blind_epochs: c(
+                &mut r,
+                "chm_serve_blind_epochs_total",
+                "Epochs where zero reports were analyzed.",
+            ),
+            degraded_epochs: c(
+                &mut r,
+                "chm_serve_degraded_epochs_total",
+                "Epochs decided in watchdog-degraded mode.",
+            ),
+            paused_epochs: c(
+                &mut r,
+                "chm_serve_paused_epochs_total",
+                "Epochs where the controller missed the collection window.",
+            ),
+            clock_stall_epochs: c(
+                &mut r,
+                "chm_serve_clock_stall_epochs_total",
+                "Epochs with an unreliable latency clock.",
+            ),
+            decode_failure_epochs: c(
+                &mut r,
+                "chm_serve_decode_failure_epochs_total",
+                "Epochs where some deployed encoder failed to decode.",
+            ),
+            packets: c(&mut r, "chm_serve_packets_total", "Packets the fabric carried."),
+            reports_delivered: c(
+                &mut r,
+                "chm_serve_reports_delivered_total",
+                "Switch reports that arrived on the first try.",
+            ),
+            reports_lost: c(&mut r, "chm_serve_reports_lost_total", "Switch reports lost outright."),
+            reports_delayed: c(
+                &mut r,
+                "chm_serve_reports_delayed_total",
+                "Switch reports that arrived late within the retry budget.",
+            ),
+            reports_timed_out: c(
+                &mut r,
+                "chm_serve_reports_timed_out_total",
+                "Switch reports that exceeded the retry budget.",
+            ),
+            report_duplicates: c(
+                &mut r,
+                "chm_serve_report_duplicates_total",
+                "Duplicate report copies discarded by dedup.",
+            ),
+            backpressure_drops: c(
+                &mut r,
+                "chm_serve_backpressure_drops_total",
+                "Reports dropped by the bounded collection inbox.",
+            ),
+            switch_reboots: c(
+                &mut r,
+                "chm_serve_switch_reboots_total",
+                "Switch reboots (empty report groups).",
+            ),
+            f1: g(&mut r, "chm_serve_f1_ratio", "Victim-detection F1 of the latest epoch."),
+            loc_top3: g(
+                &mut r,
+                "chm_serve_loc_top3_ratio",
+                "Top-3 localization hit rate of the latest epoch.",
+            ),
+            sample_rate: g(
+                &mut r,
+                "chm_serve_sample_rate_ratio",
+                "Staged LL sample rate of the latest epoch.",
+            ),
+            staged_hh: g(
+                &mut r,
+                "chm_serve_staged_hh_buckets_count",
+                "Staged HH encoder buckets per array.",
+            ),
+            staged_hl: g(
+                &mut r,
+                "chm_serve_staged_hl_buckets_count",
+                "Staged HL encoder buckets per array.",
+            ),
+            staged_ll: g(
+                &mut r,
+                "chm_serve_staged_ll_buckets_count",
+                "Staged LL encoder buckets per array.",
+            ),
+            reaction: r.register_histogram(
+                "chm_serve_reaction_seconds",
+                "Virtual controller reaction latency (collection + retry backoff).",
+                &[],
+                &REACTION_BUCKETS,
+            ),
+        };
+        ServeObs { registry: r, spans: SpanProfiler::new(), ids }
+    }
+
+    /// Folds one epoch's record into the registry (counters accumulate,
+    /// gauges track the latest epoch, the reaction histogram observes
+    /// each measurable epoch once).
+    pub fn observe_epoch(&mut self, rec: &EpochRecord) {
+        let ids = self.ids;
+        let r = &mut self.registry;
+        r.inc(ids.epochs);
+        if rec.blind {
+            r.inc(ids.blind_epochs);
+        }
+        if rec.state == "degraded" {
+            r.inc(ids.degraded_epochs);
+        }
+        if rec.paused {
+            r.inc(ids.paused_epochs);
+        }
+        if rec.clock_stalled {
+            r.inc(ids.clock_stall_epochs);
+        }
+        if !rec.decode_ok {
+            r.inc(ids.decode_failure_epochs);
+        }
+        r.add(ids.packets, rec.packets);
+        r.add(ids.reports_delivered, u64::from(rec.delivered));
+        r.add(ids.reports_lost, u64::from(rec.lost));
+        r.add(ids.reports_delayed, u64::from(rec.delayed));
+        r.add(ids.reports_timed_out, u64::from(rec.timed_out));
+        r.add(ids.report_duplicates, u64::from(rec.duplicates));
+        r.add(ids.backpressure_drops, u64::from(rec.backpressure_drops));
+        r.add(ids.switch_reboots, u64::from(rec.reboots));
+        r.set(ids.f1, rec.f1);
+        r.set(ids.loc_top3, rec.loc_top3);
+        r.set(ids.sample_rate, rec.sample_rate);
+        r.set(ids.staged_hh, rec.m_hh as f64);
+        r.set(ids.staged_hl, rec.m_hl as f64);
+        r.set(ids.staged_ll, rec.m_ll as f64);
+        if let Some(ms) = rec.reaction_ms {
+            r.observe(ids.reaction, ms / 1e3);
+        }
+    }
+
+    /// The registry (read-only; exposition and tests).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Current Prometheus text-format 0.0.4 snapshot of the registry.
+    pub fn prom_snapshot(&self) -> String {
+        render_prometheus(&self.registry)
+    }
+
+    /// One JSONL trace line: the epoch number, the flat metrics object,
+    /// and the cumulative span tree — the `--metrics-out` sink's format.
+    pub fn jsonl_line(&self, epoch: u64) -> String {
+        format!(
+            "{{\"epoch\":{epoch},\"metrics\":{},\"spans\":{}}}",
+            render_json_metrics(&self.registry),
+            self.spans.json_object()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64) -> EpochRecord {
+        EpochRecord {
+            epoch,
+            state: if epoch.is_multiple_of(2) { "live" } else { "degraded" },
+            blind: epoch == 1,
+            decode_ok: epoch != 1,
+            delivered: 4,
+            lost: 1,
+            delayed: 1,
+            timed_out: 0,
+            duplicates: 1,
+            backpressure_drops: 0,
+            reboots: 1,
+            paused: false,
+            clock_stalled: epoch == 2,
+            packets: 1000 + epoch,
+            true_victims: 3,
+            reported_victims: 3,
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+            loc_top1: 0.5,
+            loc_top3: 1.0,
+            m_hh: 32,
+            m_hl: 64,
+            m_ll: 16,
+            sample_rate: 0.25,
+            reaction_ms: if epoch == 2 { None } else { Some(3.5) },
+        }
+    }
+
+    #[test]
+    fn epoch_records_accumulate_deterministically() {
+        let run = || {
+            let mut obs = ServeObs::new();
+            for e in 0..4 {
+                obs.observe_epoch(&record(e));
+            }
+            (obs.prom_snapshot(), obs.jsonl_line(3))
+        };
+        assert_eq!(run(), run());
+        let (prom, line) = run();
+        assert!(prom.contains("chm_serve_epochs_total 4"));
+        assert!(prom.contains("chm_serve_degraded_epochs_total 2"));
+        assert!(prom.contains("chm_serve_clock_stall_epochs_total 1"));
+        // 4 epochs, one clock-stalled → 3 reaction observations.
+        assert!(prom.contains("chm_serve_reaction_seconds_count 3"));
+        assert!(prom.contains("chm_serve_reaction_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(line.starts_with("{\"epoch\":3,\"metrics\":{"));
+        assert!(line.contains("\"chm_serve_f1_ratio\":1"));
+    }
+}

@@ -38,6 +38,7 @@ use chm_scenarios::{localization_hits, EpochStream, ReplayMode, Scenario, CFG_SA
 
 use crate::fault::{EpochFaults, FaultPlan, ReportFate};
 use crate::metrics::EpochRecord;
+use crate::obs::ServeObs;
 use crate::snapshot::ServeSnapshot;
 use crate::watchdog::{ServeState, Watchdog};
 
@@ -109,6 +110,10 @@ pub struct ServeRuntime {
     /// output at any layout, so this is never part of a snapshot (execution
     /// strategy, not stream state).
     sharded: Option<ShardedReplay<FiveTuple>>,
+    /// Telemetry (metric registry + span tree), fed once per epoch. Like a
+    /// restarted Prometheus target, this is process-lifetime state — it is
+    /// deliberately *not* part of a [`ServeSnapshot`] and restarts at zero.
+    obs: ServeObs,
 }
 
 impl ServeRuntime {
@@ -141,7 +146,14 @@ impl ServeRuntime {
             watchdog,
             last_good: runtime,
             sharded: None,
+            obs: ServeObs::new(),
         }
+    }
+
+    /// The runtime's telemetry: metric registry and span tree. Snapshot it
+    /// with [`ServeObs::prom_snapshot`] / [`ServeObs::jsonl_line`].
+    pub fn obs(&self) -> &ServeObs {
+        &self.obs
     }
 
     /// Replays subsequent epochs through the sharded engine with `sharding`.
@@ -172,6 +184,14 @@ impl ServeRuntime {
         let epoch = self.simulator.current_epoch();
         let config_in_effect = *self.controller.deployed_runtime();
         let (trace, plan) = self.stream.at(epoch);
+
+        // The service pipeline runs under the zero clock: span *counts*
+        // accumulate (stages per epoch, decodes per edge, strategy picks)
+        // while every duration stays exactly 0.0 — telemetry output is
+        // byte-identical across runs and shard layouts. Real time only
+        // ever enters via the bench harness.
+        let mut zero = || 0.0;
+        self.obs.spans.enter("epoch", &mut zero);
 
         // 1. Replay through the fabric and the edge data planes.
         let imp = &self.serve.scenario.impairments;
@@ -209,19 +229,21 @@ impl ServeRuntime {
             }
         };
         let ts_bit = (report.epoch & 1) as u8;
+        self.obs.spans.record(&["replay"], 0.0);
 
         // 2. Faulted collection.
         let faults = self.serve.faults.realize(epoch, self.edges.len());
         let (inbox, tally) = self.collect(ts_bit, config_in_effect, &faults, epoch);
+        self.obs.spans.record(&["collect"], 0.0);
 
         // 3. Analyze. A paused controller missed the collection window:
         //    the delivered reports perish unread (their sketches describe
         //    an epoch whose groups are about to be recycled).
-        let analysis = if faults.controller_paused {
-            self.controller.analyze_epoch(&[])
-        } else {
-            self.controller.analyze_epoch(&inbox)
-        };
+        let collected: &[CollectedGroup<FiveTuple>] =
+            if faults.controller_paused { &[] } else { &inbox };
+        let analysis =
+            self.controller
+                .analyze_epoch_profiled(collected, &mut self.obs.spans, &mut zero);
         let blind = analysis.switches_reporting == 0;
         let decode_ok = decode_healthy(&analysis);
 
@@ -244,7 +266,12 @@ impl ServeRuntime {
         //    fabric telemetry either.
         let empty_depths = BTreeMap::new();
         let depths = if faults.controller_paused { &empty_depths } else { &report.queue_depth };
-        let localization = self.controller.localize_with_telemetry(&analysis, depths);
+        let localization = self.controller.localize_with_telemetry_profiled(
+            &analysis,
+            depths,
+            &mut self.obs.spans,
+            &mut zero,
+        );
         let (loc_top1, loc_top3) = hits_or_miss(&report, localization.as_ref());
 
         // 6. Stage + flip: the new runtime functions next epoch.
@@ -264,7 +291,8 @@ impl ServeRuntime {
                     + tally.max_backoff_ms,
             )
         };
-        EpochRecord {
+        self.obs.spans.exit(&mut zero);
+        let record = EpochRecord {
             epoch,
             // The epoch is labeled with the state its *decision* was made
             // in — i.e. the state after this epoch's watchdog verdict.
@@ -293,7 +321,9 @@ impl ServeRuntime {
             m_ll: staged.partition.m_ll,
             sample_rate: staged.sample_rate(),
             reaction_ms,
-        }
+        };
+        self.obs.observe_epoch(&record);
+        record
     }
 
     /// The collection step: applies per-report fates and the bounded
